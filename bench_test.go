@@ -1,0 +1,392 @@
+package mercury_test
+
+// The benchmark harness regenerates each of the paper's tables and figures
+// under `go test -bench`. Every Table-2/4 cell is a sub-benchmark whose
+// iterations are full independent recovery trials (fresh simulated station
+// per iteration, as in the paper's 100-experiment cells); the measured
+// mean time-to-recover is attached as the custom metric mttr_s. Ablation
+// benchmarks vary the design parameters DESIGN.md calls out (detection
+// period, restart contention, restart budget).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	mercury "github.com/recursive-restart/mercury"
+	"github.com/recursive-restart/mercury/internal/core"
+	"github.com/recursive-restart/mercury/internal/experiment"
+	"github.com/recursive-restart/mercury/internal/fault"
+	"github.com/recursive-restart/mercury/internal/orbit"
+	"github.com/recursive-restart/mercury/internal/sim"
+	"github.com/recursive-restart/mercury/internal/station"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// benchCell runs one recovery trial per iteration and reports the mean
+// simulated MTTR as mttr_s.
+func benchCell(b *testing.B, cell experiment.Cell, baseSeed int64) {
+	b.Helper()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		sys, err := mercury.NewSystem(mercury.Config{
+			Seed:     baseSeed + int64(i)*104729,
+			TreeName: cell.Tree,
+			Policy:   cell.Policy,
+			FaultyP:  cell.FaultyP,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Boot(); err != nil {
+			b.Fatal(err)
+		}
+		d, err := sys.MeasureRecovery(
+			mercury.Fault{Component: cell.Component, Cure: cell.Cure}, 5*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += d
+	}
+	b.ReportMetric(total.Seconds()/float64(b.N), "mttr_s")
+}
+
+// BenchmarkTable2 regenerates Table 2: recovery time per failed component
+// under tree I (whole-system restart) and tree II (depth augmentation).
+func BenchmarkTable2(b *testing.B) {
+	for _, tree := range []string{"I", "II"} {
+		for _, comp := range []string{"mbus", "ses", "str", "rtu", "fedrcom"} {
+			cell := experiment.Cell{Tree: tree, Policy: mercury.PolicyPerfect, Component: comp}
+			b.Run(fmt.Sprintf("tree%s/%s", tree, comp), func(b *testing.B) {
+				benchCell(b, cell, 20_000)
+			})
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: all six tree/oracle rows.
+func BenchmarkTable4(b *testing.B) {
+	for _, spec := range experiment.Table4Rows() {
+		comps := []string{"mbus", "ses", "str", "rtu", "fedr", "pbcom"}
+		if spec.Tree == "I" || spec.Tree == "II" {
+			comps = []string{"mbus", "ses", "str", "rtu", "fedrcom"}
+		}
+		for _, comp := range comps {
+			var cure []string
+			if comp == "pbcom" && spec.Policy == mercury.PolicyFaulty {
+				cure = []string{"fedr", "pbcom"}
+			}
+			cell := experiment.Cell{
+				Tree: spec.Tree, Policy: spec.Policy, FaultyP: spec.FaultyP,
+				Component: comp, Cure: cure,
+			}
+			b.Run(fmt.Sprintf("%s/%s", spec.Label, comp), func(b *testing.B) {
+				benchCell(b, cell, 40_000)
+			})
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1's failure-law calibration: sampling
+// throughput of the per-component MTTF laws.
+func BenchmarkTable1(b *testing.B) {
+	rng := sim.New(1).Rand()
+	for comp, mttf := range experiment.PaperMTTF {
+		law := fault.LogNormal{M: mttf, CV: 0.25}
+		b.Run(comp, func(b *testing.B) {
+			var sum time.Duration
+			for i := 0; i < b.N; i++ {
+				sum += law.Sample(rng)
+			}
+			if b.N > 0 {
+				b.ReportMetric(sum.Hours()/float64(b.N), "mttf_hours")
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Figures regenerates the transformation summary and the
+// tree renders of figures 2-6 (construction + render throughput).
+func BenchmarkTable3Figures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figures(); err != nil {
+			b.Fatal(err)
+		}
+		_ = experiment.Table3()
+		_ = experiment.Figure1()
+	}
+}
+
+// BenchmarkHeadline regenerates the §8 factor-of-four computation (a
+// 2-trial Table 4 per iteration, then the MTTF-weighted roll-up).
+func BenchmarkHeadline(b *testing.B) {
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Table4(2, 60_000+int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := experiment.Headline(rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		factor = h.Factor
+	}
+	b.ReportMetric(factor, "improvement_x")
+}
+
+// BenchmarkAblationPingPeriod sweeps the failure detector's ping period —
+// the paper chose 1 s "to minimize detection time without overloading
+// mbus"; the sweep shows how MTTR degrades with slower detection.
+func BenchmarkAblationPingPeriod(b *testing.B) {
+	for _, period := range []time.Duration{500 * time.Millisecond, time.Second, 2 * time.Second, 5 * time.Second} {
+		b.Run(period.String(), func(b *testing.B) {
+			fd := core.DefaultFDParams()
+			fd.PingPeriod = period
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				sys, err := mercury.NewSystem(mercury.Config{
+					Seed: 70_000 + int64(i), TreeName: "IV",
+					Policy: mercury.PolicyPerfect, FDParams: &fd,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Boot(); err != nil {
+					b.Fatal(err)
+				}
+				d, err := sys.MeasureRecovery(mercury.Fault{Component: "rtu"}, 5*time.Minute)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += d
+			}
+			b.ReportMetric(total.Seconds()/float64(b.N), "mttr_s")
+		})
+	}
+}
+
+// BenchmarkAblationContention sweeps the whole-system restart contention
+// coefficient, isolating why tree I costs more than the slowest component.
+func BenchmarkAblationContention(b *testing.B) {
+	for _, c := range []float64{0, 0.048, 0.1} {
+		b.Run(fmt.Sprintf("c=%.3f", c), func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				sys, err := mercury.NewSystem(mercury.Config{
+					Seed: 80_000 + int64(i), TreeName: "I", Policy: mercury.PolicyPerfect,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys.Mgr.ContentionPerPeer = c
+				if err := sys.Boot(); err != nil {
+					b.Fatal(err)
+				}
+				d, err := sys.MeasureRecovery(mercury.Fault{Component: "rtu"}, 5*time.Minute)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += d
+			}
+			b.ReportMetric(total.Seconds()/float64(b.N), "mttr_s")
+		})
+	}
+}
+
+// BenchmarkKernel measures raw discrete-event throughput.
+func BenchmarkKernel(b *testing.B) {
+	k := sim.New(1)
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			k.AfterFunc(time.Millisecond, fn)
+		}
+	}
+	b.ResetTimer()
+	k.AfterFunc(0, fn)
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkXMLCodec measures command-language encode/decode round-trips.
+func BenchmarkXMLCodec(b *testing.B) {
+	m := xmlcmd.NewCommand("ses", "rtu", 1, "tune", "freqHz", "437100000")
+	for i := 0; i < b.N; i++ {
+		buf, err := xmlcmd.Encode(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := xmlcmd.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOrbitLookAt measures the ses workload's inner loop.
+func BenchmarkOrbitLookAt(b *testing.B) {
+	el := orbit.SSOElements(sim.Epoch)
+	st := orbit.StanfordStation()
+	for i := 0; i < b.N; i++ {
+		if _, err := orbit.LookAt(el, st, sim.Epoch.Add(time.Duration(i)*time.Second)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPassPrediction measures AOS/LOS scanning over a day.
+func BenchmarkPassPrediction(b *testing.B) {
+	el := orbit.SSOElements(sim.Epoch)
+	st := orbit.StanfordStation()
+	for i := 0; i < b.N; i++ {
+		if _, err := orbit.PredictPasses(el, st, sim.Epoch, 24*time.Hour, 0.087); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeOperations measures restart-tree queries on the paper's
+// trees.
+func BenchmarkTreeOperations(b *testing.B) {
+	trees, err := core.MercuryTrees(station.MonolithicComponents(), station.SplitComponents())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tv := trees["V"]
+	for i := 0; i < b.N; i++ {
+		if _, err := tv.LowestCovering([]string{"fedr", "pbcom"}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tv.CellOf("ses"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBoot measures a full station boot (simulated) per iteration.
+func BenchmarkBoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := mercury.NewSystem(mercury.Config{Seed: int64(i), TreeName: "IV"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Boot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSatPass regenerates the §5.2 pass-data experiment (one full
+// simulated pass with a mid-pass failure per iteration).
+func BenchmarkSatPass(b *testing.B) {
+	for _, tree := range []string{"I", "IV"} {
+		b.Run("tree"+tree, func(b *testing.B) {
+			var collected, available float64
+			for i := 0; i < b.N; i++ {
+				o, err := experiment.SatPass(tree, 90_000+int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				collected += o.CollectedKb
+				available += o.AvailableKb
+			}
+			b.ReportMetric(100*collected/available, "data_pct")
+		})
+	}
+}
+
+// BenchmarkSoak regenerates the availability soak (one simulated hour of
+// organic failures per iteration).
+func BenchmarkSoak(b *testing.B) {
+	for _, tree := range []string{"I", "IV"} {
+		b.Run("tree"+tree, func(b *testing.B) {
+			var avail float64
+			for i := 0; i < b.N; i++ {
+				r, err := experiment.Soak(tree, time.Hour, 95_000+int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				avail += r.Availability
+			}
+			b.ReportMetric(avail/float64(b.N), "availability")
+		})
+	}
+}
+
+// BenchmarkOptimizer measures the §7 tree-transformation search.
+func BenchmarkOptimizer(b *testing.B) {
+	comps := station.SplitComponents()
+	mix := core.MercuryFaultMix()
+	ap := core.MercuryAnalyticParams()
+	var expected float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Optimize(comps, mix, ap, core.ModelFaulty, 0.30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		expected = res.Expected
+	}
+	b.ReportMetric(expected, "expected_mttr_s")
+}
+
+// BenchmarkAnalyticModel measures the closed-form MTTR evaluation.
+func BenchmarkAnalyticModel(b *testing.B) {
+	trees, err := core.MercuryTrees(station.MonolithicComponents(), station.SplitComponents())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mix := core.MercuryFaultMix()
+	ap := core.MercuryAnalyticParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ExpectedMTTR(trees["V"], mix, ap, core.ModelFaulty, 0.30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFreeRestartMTTF regenerates the §4.4 rejuvenation comparison
+// (two 2-hour soaks per iteration).
+func BenchmarkFreeRestartMTTF(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.FreeRestartMTTF(2*time.Hour, 97_000+int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.FedrFailures["V"] > 0 {
+			ratio = float64(r.FedrFailures["IV"]) / float64(r.FedrFailures["V"])
+		}
+	}
+	b.ReportMetric(ratio, "mttf_gain_x")
+}
+
+// BenchmarkOracleQualitySweep regenerates the §4.4 sensitivity study: one
+// (tree IV, tree V) pair of trials per error rate per iteration.
+func BenchmarkOracleQualitySweep(b *testing.B) {
+	var gapAt100 float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.OracleQualitySweep([]float64{0, 1}, 1, 98_000+int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gapAt100 = points[1].TreeIV - points[1].TreeV
+	}
+	b.ReportMetric(gapAt100, "iv_minus_v_s")
+}
+
+// BenchmarkManualVsAuto regenerates the §8 manual-operator baseline (one
+// manual + one automated recovery trial per iteration).
+func BenchmarkManualVsAuto(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.ManualVsAuto(1, 99_000+int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r.ManualRecovery.MeanSeconds() / r.AutoRecovery.MeanSeconds()
+	}
+	b.ReportMetric(ratio, "manual_over_auto_x")
+}

@@ -1,0 +1,51 @@
+// Command faultgen injects failures into a running mercuryd over the
+// message bus — the operator-side half of the paper's SIGKILL experiments.
+//
+//	faultgen -bus 127.0.0.1:7707 -kill rtu
+//	faultgen -bus 127.0.0.1:7707 -kill pbcom -cure fedr,pbcom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/bus"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+func main() {
+	var (
+		addr = flag.String("bus", "127.0.0.1:7707", "mbus broker address")
+		kill = flag.String("kill", "", "component to kill (required)")
+		cure = flag.String("cure", "", "comma-separated minimal cure set (default: the component)")
+	)
+	flag.Parse()
+	if err := run(*addr, *kill, *cure); err != nil {
+		fmt.Fprintln(os.Stderr, "faultgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, kill, cure string) error {
+	if kill == "" {
+		flag.Usage()
+		return fmt.Errorf("-kill is required")
+	}
+	client, err := bus.DialBus(addr, "faultgen", nil)
+	if err != nil {
+		return fmt.Errorf("dial bus: %w", err)
+	}
+	defer client.Close()
+
+	params := []string{"component", kill}
+	if cure != "" {
+		params = append(params, "cure", cure)
+	}
+	client.Send(xmlcmd.NewCommand("faultgen", "ctl", 1, "inject", params...))
+	// Give the frame time to flush through the broker before closing.
+	time.Sleep(200 * time.Millisecond)
+	fmt.Printf("faultgen: requested kill of %s\n", kill)
+	return nil
+}

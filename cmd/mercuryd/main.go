@@ -1,0 +1,206 @@
+// Command mercuryd runs a live Mercury ground station: real TCP message
+// bus, the station components, the failure detector and the recoverer,
+// all on wall-clock time (optionally compressed by -scale).
+//
+// The daemon joins the bus as the "ctl" client: faultgen (or any bus
+// client) can send it inject commands to kill components and watch the
+// automated recovery.
+//
+//	mercuryd -listen 127.0.0.1:7707 -tree IV -scale 10
+//	faultgen -bus 127.0.0.1:7707 -kill rtu
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/bus"
+	"github.com/recursive-restart/mercury/internal/fault"
+	"github.com/recursive-restart/mercury/internal/mp"
+	"github.com/recursive-restart/mercury/internal/rt"
+	"github.com/recursive-restart/mercury/internal/trace"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+func main() {
+	// When spawned by the multi-process supervisor, this invocation hosts
+	// a single component child.
+	if spec, ok := mp.SpecFromEnv(); ok {
+		if err := mp.RunChild(spec); err != nil {
+			fmt.Fprintln(os.Stderr, "mercuryd child:", err)
+			os.Exit(3)
+		}
+		return
+	}
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7707", "TCP address for the mbus broker")
+		tree      = flag.String("tree", "IV", "restart tree (I, II, IIp, III, IV, V)")
+		scale     = flag.Float64("scale", 10, "time compression (10 = ten times faster than calibrated)")
+		seed      = flag.Int64("seed", 2002, "deterministic seed for jitter and epochs")
+		duration  = flag.Duration("duration", 0, "run time (0 = until SIGINT)")
+		kill      = flag.String("kill", "", "self-driven demo: component to kill after -kill-after")
+		killAt    = flag.Duration("kill-after", 5*time.Second, "wall-time delay before -kill")
+		quiet     = flag.Bool("quiet", false, "suppress the live trace stream")
+		multiproc = flag.Bool("multiproc", false, "run every component as its own OS process (per-JVM fidelity)")
+	)
+	flag.Parse()
+	var err error
+	if *multiproc {
+		err = runMultiProc(*listen, *tree, *scale, *seed, *duration, *kill, *killAt, *quiet)
+	} else {
+		err = run(*listen, *tree, *scale, *seed, *duration, *kill, *killAt, *quiet)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mercuryd:", err)
+		os.Exit(1)
+	}
+}
+
+// runMultiProc supervises one OS process per component.
+func runMultiProc(listen, tree string, scale float64, seed int64, duration time.Duration,
+	kill string, killAt time.Duration, quiet bool) error {
+	fmt.Printf("mercuryd: booting multi-process (tree %s, scale %.0fx, bus %s)...\n", tree, scale, listen)
+	sup, err := mp.StartSupervisor(mp.SupervisorConfig{
+		ListenAddr: listen,
+		Scale:      scale,
+		TreeName:   tree,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer sup.Stop()
+
+	if !quiet {
+		sup.Log.Subscribe(func(e trace.Event) {
+			switch e.Kind {
+			case trace.FaultInjected, trace.FailureDetected, trace.OracleGuess,
+				trace.RestartRequested, trace.ComponentReady, trace.ComponentDown,
+				trace.GiveUp:
+				fmt.Println("  ", e)
+			}
+		})
+	}
+	fmt.Printf("mercuryd: station up; bus at %s\n", sup.BusAddr())
+	for _, comp := range sup.Components() {
+		if pid := sup.ChildPID(comp); pid != 0 {
+			fmt.Printf("  %-8s pid %d\n", comp, pid)
+		} else {
+			fmt.Printf("  %-8s (in supervisor)\n", comp)
+		}
+	}
+	fmt.Println(sup.Tree.Render())
+
+	ctl, err := bus.DialBus(sup.BusAddr(), "ctl", func(m *xmlcmd.Message) {
+		if m.Kind() != xmlcmd.KindCommand || m.Command.Name != "inject" {
+			return
+		}
+		comp, _ := m.Command.Param("component")
+		fmt.Printf("mercuryd: inject request from %s: kill %s\n", m.From, comp)
+		if err := sup.Inject(fault.Fault{Manifest: comp}); err != nil {
+			fmt.Println("mercuryd: inject failed:", err)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("control client: %w", err)
+	}
+	defer ctl.Close()
+
+	if kill != "" {
+		time.AfterFunc(killAt, func() {
+			fmt.Printf("mercuryd: demo kill of %s (SIGKILL to its process)\n", kill)
+			if err := sup.Inject(fault.Fault{Manifest: kill}); err != nil {
+				fmt.Println("mercuryd: demo kill failed:", err)
+			}
+		})
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if duration > 0 {
+		select {
+		case <-time.After(duration):
+		case <-sig:
+		}
+	} else {
+		<-sig
+	}
+	fmt.Println("mercuryd: shutting down")
+	return nil
+}
+
+func run(listen, tree string, scale float64, seed int64, duration time.Duration,
+	kill string, killAt time.Duration, quiet bool) error {
+	fmt.Printf("mercuryd: booting (tree %s, scale %.0fx, bus %s)...\n", tree, scale, listen)
+	node, err := rt.StartNode(rt.NodeConfig{
+		ListenAddr: listen,
+		Scale:      scale,
+		TreeName:   tree,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Stop()
+
+	if !quiet {
+		node.Log.Subscribe(func(e trace.Event) {
+			switch e.Kind {
+			case trace.FaultInjected, trace.FailureDetected, trace.OracleGuess,
+				trace.RestartRequested, trace.ComponentReady, trace.ComponentDown,
+				trace.GiveUp:
+				fmt.Println("  ", e)
+			}
+		})
+	}
+	fmt.Printf("mercuryd: station up; bus at %s\n", node.BusAddr())
+	fmt.Println(node.Tree.Render())
+
+	// Join the bus as the control client so faultgen can reach us.
+	ctl, err := bus.DialBus(node.BusAddr(), "ctl", func(m *xmlcmd.Message) {
+		if m.Kind() != xmlcmd.KindCommand || m.Command.Name != "inject" {
+			return
+		}
+		comp, _ := m.Command.Param("component")
+		cureStr, _ := m.Command.Param("cure")
+		var cure []string
+		if cureStr != "" {
+			cure = strings.Split(cureStr, ",")
+		}
+		fmt.Printf("mercuryd: inject request from %s: kill %s (cure %v)\n", m.From, comp, cure)
+		if err := node.Inject(fault.Fault{Manifest: comp, Cure: cure}); err != nil {
+			fmt.Println("mercuryd: inject failed:", err)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("control client: %w", err)
+	}
+	defer ctl.Close()
+
+	if kill != "" {
+		time.AfterFunc(killAt, func() {
+			fmt.Printf("mercuryd: demo kill of %s\n", kill)
+			if err := node.Inject(fault.Fault{Manifest: kill}); err != nil {
+				fmt.Println("mercuryd: demo kill failed:", err)
+			}
+		})
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if duration > 0 {
+		select {
+		case <-time.After(duration):
+		case <-sig:
+		}
+	} else {
+		<-sig
+	}
+	fmt.Println("mercuryd: shutting down")
+	return nil
+}

@@ -1,0 +1,67 @@
+// Command passpred predicts satellite passes over the ground station —
+// the planning tool the ses substrate supports. It prints AOS, LOS,
+// duration, maximum elevation and peak Doppler for each pass in the
+// window.
+//
+//	passpred -hours 24 -minel 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/orbit"
+)
+
+func main() {
+	var (
+		hours   = flag.Float64("hours", 24, "prediction window, hours")
+		minEl   = flag.Float64("minel", 5, "minimum elevation, degrees")
+		carrier = flag.Float64("carrier", 437.1e6, "downlink carrier, Hz")
+		lat     = flag.Float64("lat", 37.4275, "station latitude, degrees")
+		lon     = flag.Float64("lon", -122.1697, "station longitude, degrees")
+	)
+	flag.Parse()
+	if err := run(*hours, *minEl, *carrier, *lat, *lon); err != nil {
+		fmt.Fprintln(os.Stderr, "passpred:", err)
+		os.Exit(1)
+	}
+}
+
+func run(hours, minElDeg, carrier, latDeg, lonDeg float64) error {
+	now := time.Now().UTC().Truncate(time.Minute)
+	st := orbit.Station{
+		LatitudeRad:  latDeg * math.Pi / 180,
+		LongitudeRad: lonDeg * math.Pi / 180,
+		AltitudeKm:   0.03,
+	}
+	el := orbit.SSOElements(now)
+	window := time.Duration(hours * float64(time.Hour))
+	passes, err := orbit.PredictPasses(el, st, now, window, minElDeg*math.Pi/180)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("passes over (%.4f, %.4f) in the next %.0f h (min el %.0f°):\n",
+		latDeg, lonDeg, hours, minElDeg)
+	if len(passes) == 0 {
+		fmt.Println("  none")
+		return nil
+	}
+	fmt.Printf("%-22s %-22s %8s %7s %12s\n", "AOS (UTC)", "LOS (UTC)", "dur", "max el", "peak doppler")
+	for _, p := range passes {
+		look, err := orbit.LookAt(el, st, p.AOS.Add(10*time.Second))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s %-22s %7.1fm %6.1f° %+9.1f kHz\n",
+			p.AOS.Format("2006-01-02 15:04:05"),
+			p.LOS.Format("2006-01-02 15:04:05"),
+			p.Duration().Minutes(),
+			p.MaxEl*180/math.Pi,
+			look.DopplerHz(carrier)/1000)
+	}
+	return nil
+}

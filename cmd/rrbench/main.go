@@ -1,0 +1,133 @@
+// Command rrbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rrbench -all                 # everything, 100 trials per cell
+//	rrbench -table 4 -trials 20  # just Table 4, faster
+//	rrbench -fig 5               # render the tree of figure 5
+//	rrbench -headline            # the §8 "factor of four" computation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/experiment"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate table N (1-4)")
+		fig      = flag.Int("fig", 0, "render figure N (1-6)")
+		headline = flag.Bool("headline", false, "compute the §8 improvement factor")
+		soak     = flag.Bool("soak", false, "organic-failure availability soak (trees I vs IV)")
+		rejuv    = flag.Bool("rejuv", false, "§4.4 free-restart rejuvenation MTTF comparison")
+		sweep    = flag.Bool("sweep", false, "oracle-quality sweep: tree IV vs V across error rates")
+		manual   = flag.Bool("manual", false, "pre-RR manual-operator baseline vs automated recovery")
+		all      = flag.Bool("all", false, "regenerate everything")
+		trials   = flag.Int("trials", experiment.DefaultTrials, "trials per measured cell")
+		seed     = flag.Int64("seed", 2002, "base random seed")
+	)
+	flag.Parse()
+	if err := run(*table, *fig, *headline, *soak, *rejuv, *sweep, *manual, *all, *trials, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "rrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, fig int, headline, soak, rejuv, sweep, manual, all bool, trials int, seed int64) error {
+	if !all && table == 0 && fig == 0 && !headline && !soak && !rejuv && !sweep && !manual {
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -all, -table, -fig, -headline, -soak, -rejuv, -sweep or -manual")
+	}
+	if all || manual {
+		n := trials
+		if n > 20 {
+			n = 20
+		}
+		r, err := experiment.ManualVsAuto(n, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderManual(r))
+	}
+	if all || sweep {
+		n := trials
+		if n > 25 {
+			n = 25 // the sweep has 12 cells; keep it snappy
+		}
+		points, err := experiment.DefaultSweep(n, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderSweep(points))
+	}
+	if all || soak {
+		fmt.Println("organic-failure soak (Table 1 rates, escalating oracle, 12 simulated hours)")
+		for _, tree := range []string{"I", "IV"} {
+			r, err := experiment.Soak(tree, 12*time.Hour, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiment.RenderSoak(r))
+		}
+		fmt.Println()
+	}
+	if all || rejuv {
+		r, err := experiment.FreeRestartMTTF(12*time.Hour, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderFreeRestart(r))
+	}
+	if all || fig != 0 {
+		if all || fig == 1 {
+			fmt.Println(experiment.Figure1())
+		}
+		if all || fig >= 2 {
+			figs, err := experiment.Figures()
+			if err != nil {
+				return err
+			}
+			fmt.Println(figs)
+		}
+	}
+	if all || table == 1 {
+		res, err := experiment.Table1(10000, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderTable1(res))
+	}
+	if all || table == 3 {
+		fmt.Println(experiment.Table3())
+	}
+	var rows []experiment.Row
+	if all || table == 2 || table == 4 || headline {
+		var err error
+		fmt.Printf("measuring %d trials per cell...\n", trials)
+		rows, err = experiment.Table4(trials, seed)
+		if err != nil {
+			return err
+		}
+	}
+	if all || table == 2 {
+		fmt.Println(experiment.RenderRows(rows[:2],
+			"Table 2 — tree II recovery: detection + recovery time (s)"))
+	}
+	if all || table == 4 {
+		fmt.Println(experiment.RenderRows(rows,
+			"Table 4 — overall MTTRs (s); rows are tree/oracle, columns failed components"))
+	}
+	if all || headline {
+		h, err := experiment.Headline(rows)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderHeadline(h))
+	}
+	return nil
+}

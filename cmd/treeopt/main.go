@@ -1,0 +1,72 @@
+// Command treeopt runs the automatic restart-tree optimizer (paper §7:
+// "identify specific algorithms for transforming restart trees"). Given a
+// failure mix and an oracle model it hill-climbs over the paper's
+// transformations and prints the optimized tree next to the analytic
+// expected MTTR of the paper's hand-derived trees.
+//
+//	treeopt -model escalating
+//	treeopt -model faulty -p 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/recursive-restart/mercury/internal/core"
+	"github.com/recursive-restart/mercury/internal/station"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "escalating", "oracle model: perfect, escalating, faulty")
+		faultyP   = flag.Float64("p", 0.30, "guess-too-low probability for -model faulty")
+	)
+	flag.Parse()
+	if err := run(*modelName, *faultyP); err != nil {
+		fmt.Fprintln(os.Stderr, "treeopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName string, faultyP float64) error {
+	var model core.OracleModel
+	switch modelName {
+	case "perfect":
+		model = core.ModelPerfect
+	case "escalating":
+		model = core.ModelEscalating
+	case "faulty":
+		model = core.ModelFaulty
+	default:
+		return fmt.Errorf("unknown model %q", modelName)
+	}
+
+	mix := core.MercuryFaultMix()
+	ap := core.MercuryAnalyticParams()
+	fmt.Printf("failure mix (the paper's f formalism):\n%s\n", core.RenderMix(mix))
+
+	trees, err := core.MercuryTrees(station.MonolithicComponents(), station.SplitComponents())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("analytic expected MTTR under the %s oracle model:\n", model)
+	for _, name := range []string{"IIp", "III", "IV", "V"} {
+		e, err := core.ExpectedMTTR(trees[name], mix, ap, model, faultyP)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  tree %-4s %6.2f s\n", name, e)
+	}
+
+	res, err := core.Optimize(station.SplitComponents(), mix, ap, model, faultyP)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\noptimizer (hill-climb from the depth-augmented tree, %.2f s):\n", res.Start)
+	for _, s := range res.Steps {
+		fmt.Println("  ", s)
+	}
+	fmt.Printf("\noptimized tree, expected MTTR %.2f s:\n%s", res.Expected, res.Tree.Render())
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/recursive-restart/mercury
+
+go 1.22

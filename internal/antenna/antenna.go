@@ -1,0 +1,112 @@
+// Package antenna models the tracking antenna the str component drives:
+// slew-rate-limited az/el pointing, pointing error, and the on-target test
+// that decides whether the communication link holds. If a failure in the
+// tracking subsystem keeps the antenna off target for too long, the link
+// breaks and the pass is lost — the paper's §5.2 downtime-cost argument.
+package antenna
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// ErrBadSlewRate rejects non-positive slew rates.
+var ErrBadSlewRate = errors.New("antenna: slew rate must be positive")
+
+// Model is a two-axis antenna positioner. It is a pure state machine: the
+// caller (the str component) advances it with explicit time steps, so it
+// works identically under simulated and real time.
+type Model struct {
+	// SlewRateRad is the maximum axis speed, rad/s.
+	SlewRateRad float64
+	// BeamwidthRad is the half-power beamwidth; the link holds while the
+	// pointing error is within half of it.
+	BeamwidthRad float64
+
+	azRad float64
+	elRad float64
+}
+
+// New constructs an antenna parked at azimuth 0, elevation 0.
+func New(slewRateRad, beamwidthRad float64) (*Model, error) {
+	if slewRateRad <= 0 {
+		return nil, ErrBadSlewRate
+	}
+	return &Model{SlewRateRad: slewRateRad, BeamwidthRad: beamwidthRad}, nil
+}
+
+// Azimuth returns the current azimuth, [0, 2pi).
+func (m *Model) Azimuth() float64 { return m.azRad }
+
+// Elevation returns the current elevation.
+func (m *Model) Elevation() float64 { return m.elRad }
+
+// Step slews toward the target for dt, each axis limited by the slew rate.
+// Azimuth takes the short way around.
+func (m *Model) Step(targetAz, targetEl float64, dt time.Duration) {
+	maxMove := m.SlewRateRad * dt.Seconds()
+
+	dAz := wrapPi(targetAz - m.azRad)
+	if math.Abs(dAz) <= maxMove {
+		m.azRad = targetAz
+	} else {
+		m.azRad += math.Copysign(maxMove, dAz)
+	}
+	m.azRad = wrap2Pi(m.azRad)
+
+	dEl := targetEl - m.elRad
+	if math.Abs(dEl) <= maxMove {
+		m.elRad = targetEl
+	} else {
+		m.elRad += math.Copysign(maxMove, dEl)
+	}
+}
+
+// PointingError returns the angular separation between the boresight and
+// the target direction.
+func (m *Model) PointingError(targetAz, targetEl float64) float64 {
+	// Angular separation on the az/el sphere.
+	cosSep := math.Sin(m.elRad)*math.Sin(targetEl) +
+		math.Cos(m.elRad)*math.Cos(targetEl)*math.Cos(targetAz-m.azRad)
+	if cosSep > 1 {
+		cosSep = 1
+	}
+	if cosSep < -1 {
+		cosSep = -1
+	}
+	return math.Acos(cosSep)
+}
+
+// OnTarget reports whether the link geometry holds (pointing error within
+// half the beamwidth).
+func (m *Model) OnTarget(targetAz, targetEl float64) bool {
+	return m.PointingError(targetAz, targetEl) <= m.BeamwidthRad/2
+}
+
+// Park drives the antenna to the stow position instantly (used between
+// passes; stow time is not on the recovery path).
+func (m *Model) Park() {
+	m.azRad = 0
+	m.elRad = 0
+}
+
+// wrapPi wraps an angle into (-pi, pi].
+func wrapPi(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// wrap2Pi wraps an angle into [0, 2pi).
+func wrap2Pi(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return a
+}

@@ -1,0 +1,114 @@
+package antenna
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewRejectsBadSlewRate(t *testing.T) {
+	if _, err := New(0, 0.1); err != ErrBadSlewRate {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New(-1, 0.1); err != ErrBadSlewRate {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStepReachesTarget(t *testing.T) {
+	m, err := New(0.1, 0.05) // 0.1 rad/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 0.5
+	for i := 0; i < 10; i++ {
+		m.Step(target, target, time.Second)
+	}
+	if math.Abs(m.Azimuth()-target) > 1e-12 || math.Abs(m.Elevation()-target) > 1e-12 {
+		t.Fatalf("az/el = %v/%v, want %v", m.Azimuth(), m.Elevation(), target)
+	}
+}
+
+func TestStepRespectsSlewRate(t *testing.T) {
+	m, _ := New(0.1, 0.05)
+	m.Step(1.0, 1.0, time.Second)
+	if math.Abs(m.Azimuth()-0.1) > 1e-12 {
+		t.Fatalf("az moved %v in 1s at 0.1 rad/s", m.Azimuth())
+	}
+	if math.Abs(m.Elevation()-0.1) > 1e-12 {
+		t.Fatalf("el moved %v in 1s at 0.1 rad/s", m.Elevation())
+	}
+}
+
+func TestAzimuthTakesShortWay(t *testing.T) {
+	m, _ := New(0.5, 0.05)
+	// From az ~0 to az 6.0 rad: short way is backwards through 2pi.
+	m.Step(6.0, 0, time.Second)
+	if m.Azimuth() < 5.7 {
+		t.Fatalf("az = %v; should have wrapped backwards toward 6.0", m.Azimuth())
+	}
+}
+
+func TestPointingErrorZeroOnBoresight(t *testing.T) {
+	m, _ := New(1, 0.05)
+	m.Step(1.2, 0.8, time.Minute) // reaches target
+	if e := m.PointingError(1.2, 0.8); e > 1e-9 {
+		t.Fatalf("error on boresight = %v", e)
+	}
+	if !m.OnTarget(1.2, 0.8) {
+		t.Fatal("not on target at zero error")
+	}
+}
+
+func TestOnTargetBeamwidth(t *testing.T) {
+	m, _ := New(1, 0.1) // half-beamwidth 0.05
+	m.Step(0, 0, time.Second)
+	if !m.OnTarget(0.04, 0) {
+		t.Fatal("within half beamwidth but off target")
+	}
+	if m.OnTarget(0.2, 0) {
+		t.Fatal("outside beamwidth but on target")
+	}
+}
+
+func TestPark(t *testing.T) {
+	m, _ := New(1, 0.05)
+	m.Step(1, 1, time.Minute)
+	m.Park()
+	if m.Azimuth() != 0 || m.Elevation() != 0 {
+		t.Fatal("Park did not stow")
+	}
+}
+
+// Property: a single step never moves an axis more than slew*dt, and
+// repeated stepping converges monotonically to the target elevation.
+func TestPropertySlewBound(t *testing.T) {
+	f := func(targetRaw, dtMs uint16) bool {
+		m, _ := New(0.2, 0.05)
+		target := float64(targetRaw) / 65536 * math.Pi / 2
+		dt := time.Duration(dtMs%5000) * time.Millisecond
+		prev := m.Elevation()
+		m.Step(0, target, dt)
+		moved := math.Abs(m.Elevation() - prev)
+		return moved <= 0.2*dt.Seconds()+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pointing error is symmetric in its arguments' roles and always
+// within [0, pi].
+func TestPropertyPointingErrorRange(t *testing.T) {
+	f := func(azRaw, elRaw uint16) bool {
+		m, _ := New(1, 0.05)
+		az := float64(azRaw) / 65536 * 2 * math.Pi
+		el := float64(elRaw)/65536*math.Pi - math.Pi/2
+		e := m.PointingError(az, el)
+		return e >= 0 && e <= math.Pi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

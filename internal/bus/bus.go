@@ -1,0 +1,149 @@
+// Package bus implements Mercury's software message bus.
+//
+// All high-level XML command traffic flows over the bus through the mbus
+// broker component: sender → mbus → recipient. When mbus is down, messages
+// are lost — which is why mbus itself is monitored and why an mbus failure
+// looks, to a naive detector, like everything failing at once. The failure
+// detector and the recoverer exchange traffic over a separate dedicated
+// link that does not transit mbus, mirroring the paper's isolation choice.
+//
+// Two implementations exist: Sim (simulated fabric with a latency model,
+// deterministic under the event kernel) and the TCP broker/client in
+// tcp.go used by the real-time runtime.
+package bus
+
+import (
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/clock"
+	"github.com/recursive-restart/mercury/internal/proc"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// Stats counts bus activity for tests and health beacons.
+type Stats struct {
+	Sent          int
+	Delivered     int
+	DroppedBroker int // lost because mbus was not serving
+	DroppedDest   int // lost because the destination was not accepting
+	DirectSent    int // messages on dedicated links
+}
+
+// Sim is the simulated message fabric. Messages between ordinary
+// components take two hops (to the broker, then to the destination), each
+// costing Latency; dedicated-link messages take one hop.
+type Sim struct {
+	clk    clock.Clock
+	mgr    *proc.Manager
+	broker string
+
+	// Latency is the one-hop propagation + processing delay.
+	Latency time.Duration
+
+	// direct holds addresses joined by dedicated links; any message whose
+	// From and To are both direct bypasses the broker.
+	direct map[string]bool
+
+	stats Stats
+}
+
+var _ proc.Transport = (*Sim)(nil)
+
+// NewSim builds a simulated bus routed through the named broker component.
+func NewSim(clk clock.Clock, mgr *proc.Manager, broker string) *Sim {
+	return &Sim{
+		clk:     clk,
+		mgr:     mgr,
+		broker:  broker,
+		Latency: 5 * time.Millisecond,
+		direct:  make(map[string]bool),
+	}
+}
+
+// AddDirectLink marks two addresses as joined by a dedicated connection
+// that does not transit the broker (the paper's FD↔REC TCP link).
+func (b *Sim) AddDirectLink(a, c string) {
+	b.direct[a] = true
+	b.direct[c] = true
+}
+
+// Stats returns a copy of the bus counters.
+func (b *Sim) Stats() Stats { return b.stats }
+
+// Send routes a message. Sends never fail synchronously: loss is silent,
+// exactly like writing into a TCP connection whose peer has crashed.
+func (b *Sim) Send(m *xmlcmd.Message) {
+	b.stats.Sent++
+	if b.direct[m.From] && b.direct[m.To] {
+		b.stats.DirectSent++
+		b.clk.AfterFunc(b.Latency, func() {
+			if b.mgr.Deliver(m) {
+				b.stats.Delivered++
+			} else {
+				b.stats.DroppedDest++
+			}
+		})
+		return
+	}
+	// Hop 1: reach the broker. Messages to or from the broker itself are
+	// single-hop (the broker terminates them locally).
+	if m.To == b.broker || m.From == b.broker {
+		b.clk.AfterFunc(b.Latency, func() {
+			if b.mgr.Deliver(m) {
+				b.stats.Delivered++
+			} else {
+				b.stats.DroppedDest++
+			}
+		})
+		return
+	}
+	b.clk.AfterFunc(b.Latency, func() {
+		// The broker must be accepting traffic to route. A broker that is
+		// starting up or dead loses the message.
+		if !b.mgr.Serving(b.broker) {
+			b.stats.DroppedBroker++
+			return
+		}
+		// Hop 2: broker forwards to the destination.
+		b.clk.AfterFunc(b.Latency, func() {
+			if b.mgr.Deliver(m) {
+				b.stats.Delivered++
+			} else {
+				b.stats.DroppedDest++
+			}
+		})
+	})
+}
+
+// Broker is the mbus broker component itself: the process that, when
+// serving, carries traffic. Its handler only needs to answer liveness
+// pings; the routing fast path lives in the fabric (Sim or the TCP
+// broker), gated on this process's serving state.
+type Broker struct {
+	// StartupTime is the base time for the broker to come up.
+	StartupTime time.Duration
+}
+
+// BrokerHandler returns a proc.Handler factory for the broker process.
+func BrokerHandler(startup time.Duration) func() proc.Handler {
+	return func() proc.Handler { return &brokerHandler{startup: startup} }
+}
+
+type brokerHandler struct {
+	startup time.Duration
+	ready   bool
+}
+
+func (h *brokerHandler) Start(ctx proc.Context) {
+	d := time.Duration(float64(h.startup) * ctx.Stretch())
+	ctx.After(d, func() {
+		h.ready = true
+		ctx.Ready()
+	})
+}
+
+func (h *brokerHandler) Receive(ctx proc.Context, m *xmlcmd.Message) {
+	if m.Kind() == xmlcmd.KindPing && h.ready {
+		ctx.Send(xmlcmd.NewPong(ctx.Name(), m, ctx.Incarnation()))
+	}
+}

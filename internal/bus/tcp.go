@@ -1,0 +1,316 @@
+package bus
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// This file implements the real message bus used by the real-time runtime
+// (cmd/mercuryd): a TCP broker carrying length-prefixed XML command frames
+// between named clients, exactly the role mbus plays in the paper. The
+// broker can be stopped and restarted — clients reconnect with backoff, so
+// the fabric exhibits the same outage/recovery behaviour the simulated bus
+// models.
+
+// Frame format: 4-byte big-endian length followed by the XML payload.
+const frameHeader = 4
+
+// TCP errors.
+var (
+	ErrClientClosed  = errors.New("bus: client closed")
+	ErrNotRegistered = errors.New("bus: first frame must register a name")
+)
+
+// WriteFrame writes one length-prefixed message.
+func WriteFrame(w io.Writer, m *xmlcmd.Message) error {
+	payload, err := xmlcmd.Encode(m)
+	if err != nil {
+		return err
+	}
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message.
+func ReadFrame(r io.Reader) (*xmlcmd.Message, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > xmlcmd.MaxFrame {
+		return nil, xmlcmd.ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return xmlcmd.Decode(payload)
+}
+
+// registerCommand is the client's first frame.
+const registerCommand = "register"
+
+// TCPBroker is the mbus broker: it accepts client connections, each
+// opening with a register frame naming its bus address, and routes every
+// subsequent frame to the connection registered under the frame's To
+// address. Unroutable frames are dropped silently (fail-silent fabric).
+type TCPBroker struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[string]net.Conn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenBroker starts a broker on addr (use "127.0.0.1:0" for an ephemeral
+// port).
+func ListenBroker(addr string) (*TCPBroker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bus: listen: %w", err)
+	}
+	b := &TCPBroker{ln: ln, conns: make(map[string]net.Conn)}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b, nil
+}
+
+// Addr returns the broker's listen address.
+func (b *TCPBroker) Addr() string { return b.ln.Addr().String() }
+
+// Close shuts the broker down and disconnects every client.
+func (b *TCPBroker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	err := b.ln.Close()
+	for _, c := range b.conns {
+		_ = c.Close()
+	}
+	b.conns = make(map[string]net.Conn)
+	b.mu.Unlock()
+	b.wg.Wait()
+	return err
+}
+
+func (b *TCPBroker) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return
+		}
+		b.wg.Add(1)
+		go b.serve(conn)
+	}
+}
+
+// serve handles one client connection.
+func (b *TCPBroker) serve(conn net.Conn) {
+	defer b.wg.Done()
+	// Registration.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	first, err := ReadFrame(conn)
+	if err != nil || first.Kind() != xmlcmd.KindCommand || first.Command.Name != registerCommand {
+		_ = conn.Close()
+		return
+	}
+	name := first.From
+	_ = conn.SetReadDeadline(time.Time{})
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if old, ok := b.conns[name]; ok {
+		_ = old.Close() // a reconnecting client replaces its old session
+	}
+	b.conns[name] = conn
+	b.mu.Unlock()
+
+	for {
+		m, err := ReadFrame(conn)
+		if err != nil {
+			break
+		}
+		b.route(m)
+	}
+
+	b.mu.Lock()
+	if b.conns[name] == conn {
+		delete(b.conns, name)
+	}
+	b.mu.Unlock()
+	_ = conn.Close()
+}
+
+// route forwards a frame to its destination, dropping it if the
+// destination has no live connection.
+func (b *TCPBroker) route(m *xmlcmd.Message) {
+	b.mu.Lock()
+	dest, ok := b.conns[m.To]
+	b.mu.Unlock()
+	if !ok {
+		return
+	}
+	// Serialise writes per destination under the broker lock; broker
+	// throughput is nowhere near the point where this matters for the
+	// ground station's tens of messages per second.
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cur, ok := b.conns[m.To]; ok && cur == dest {
+		_ = WriteFrame(dest, m)
+	}
+}
+
+// ClientNames lists currently registered clients (for tests/ops).
+func (b *TCPBroker) ClientNames() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.conns))
+	for n := range b.conns {
+		out = append(out, n)
+	}
+	return out
+}
+
+// TCPClient is one component's connection to the broker. It reconnects
+// with backoff when the broker goes away, so a broker restart behaves like
+// the simulated bus outage: frames sent meanwhile are silently lost.
+type TCPClient struct {
+	name  string
+	addr  string
+	onMsg func(*xmlcmd.Message)
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// DialBus connects and registers a client. onMsg is invoked from the read
+// goroutine for every inbound frame; the caller serialises.
+func DialBus(addr, name string, onMsg func(*xmlcmd.Message)) (*TCPClient, error) {
+	c := &TCPClient{name: name, addr: addr, onMsg: onMsg}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// connect dials and registers.
+func (c *TCPClient) connect() error {
+	conn, err := net.DialTimeout("tcp", c.addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	reg := xmlcmd.NewCommand(c.name, "mbus", 0, registerCommand)
+	if err := WriteFrame(conn, reg); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = conn.Close()
+		return ErrClientClosed
+	}
+	c.conn = conn
+	c.mu.Unlock()
+	return nil
+}
+
+// Send writes a frame. Failures are silent (the bus is fail-silent); a
+// write error triggers reconnection.
+func (c *TCPClient) Send(m *xmlcmd.Message) {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	if err := WriteFrame(conn, m); err != nil {
+		_ = conn.Close()
+	}
+}
+
+// readLoop receives frames and reconnects on failure until closed.
+func (c *TCPClient) readLoop() {
+	defer c.wg.Done()
+	backoff := 100 * time.Millisecond
+	for {
+		c.mu.Lock()
+		conn := c.conn
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		if conn != nil {
+			for {
+				m, err := ReadFrame(conn)
+				if err != nil {
+					break
+				}
+				backoff = 100 * time.Millisecond
+				if c.onMsg != nil {
+					c.onMsg(m)
+				}
+			}
+			_ = conn.Close()
+			c.mu.Lock()
+			if c.conn == conn {
+				c.conn = nil
+			}
+			c.mu.Unlock()
+		}
+		// Reconnect with capped backoff.
+		time.Sleep(backoff)
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+		c.mu.Lock()
+		closed = c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		_ = c.connect() // failure leaves conn nil; loop retries
+	}
+}
+
+// Close tears the client down.
+func (c *TCPClient) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}

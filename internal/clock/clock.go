@@ -1,0 +1,143 @@
+// Package clock abstracts time so that the ground-station components, the
+// failure detector and the recoverer run identically under the
+// discrete-event simulator (virtual time, deterministic) and under the
+// real-time runtime (wall-clock time).
+package clock
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/sim"
+)
+
+// Timer is a handle to a scheduled callback.
+type Timer interface {
+	// Stop cancels the callback if it has not fired yet and reports whether
+	// it prevented the callback from running.
+	Stop() bool
+}
+
+// Clock is the time facility given to every actor in the system.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// AfterFunc schedules fn to run after d. fn runs on the runtime's
+	// dispatch context; actors must not block inside it.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Sim adapts a simulation kernel to the Clock interface.
+type Sim struct {
+	K *sim.Kernel
+}
+
+var _ Clock = Sim{}
+
+// Now returns the kernel's virtual time.
+func (s Sim) Now() time.Time { return s.K.Now() }
+
+// AfterFunc schedules fn on the kernel's event queue.
+func (s Sim) AfterFunc(d time.Duration, fn func()) Timer {
+	return s.K.AfterFunc(d, fn)
+}
+
+// Real is a Clock backed by the machine clock. Callbacks fire on their own
+// goroutines via time.AfterFunc; callers serialise via their own dispatch.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now returns time.Now.
+func (Real) Now() time.Time { return time.Now() }
+
+// AfterFunc wraps time.AfterFunc.
+func (Real) AfterFunc(d time.Duration, fn func()) Timer {
+	return realTimer{t: time.AfterFunc(d, fn)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool { return rt.t.Stop() }
+
+// Scaled is a real-time clock that compresses durations by Factor, so that
+// a simulation calibrated in "paper seconds" can be demonstrated live in a
+// fraction of the time (e.g. Factor 10 makes a 21 s pbcom restart take
+// 2.1 s of wall time). Now still returns wall time.
+type Scaled struct {
+	Inner  Clock
+	Factor float64
+}
+
+var _ Clock = Scaled{}
+
+// Now returns the inner clock's time.
+func (s Scaled) Now() time.Time { return s.Inner.Now() }
+
+// AfterFunc schedules fn after d divided by Factor.
+func (s Scaled) AfterFunc(d time.Duration, fn func()) Timer {
+	f := s.Factor
+	if f <= 0 {
+		f = 1
+	}
+	return s.Inner.AfterFunc(time.Duration(float64(d)/f), fn)
+}
+
+// Ticker repeatedly invokes fn every period until stopped. It is built on
+// Clock.AfterFunc so it works under both runtimes.
+type Ticker struct {
+	mu      sync.Mutex
+	clk     Clock
+	period  time.Duration
+	fn      func()
+	timer   Timer
+	stopped bool
+}
+
+// NewTicker starts a ticker that calls fn every period. The first call
+// happens one period from now.
+func NewTicker(clk Clock, period time.Duration, fn func()) *Ticker {
+	t := &Ticker{clk: clk, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.clk.AfterFunc(t.period, t.tick)
+}
+
+func (t *Ticker) tick() {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return
+	}
+	t.arm()
+	fn := t.fn
+	t.mu.Unlock()
+	fn()
+}
+
+// Stop halts the ticker. It is safe to call more than once.
+func (t *Ticker) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// Jitter returns d multiplied by a factor drawn uniformly from
+// [1-frac, 1+frac]. It is used to de-synchronise periodic activity.
+func Jitter(rng *rand.Rand, d time.Duration, frac float64) time.Duration {
+	if frac <= 0 {
+		return d
+	}
+	f := 1 + frac*(2*rng.Float64()-1)
+	return time.Duration(float64(d) * f)
+}

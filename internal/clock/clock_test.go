@@ -1,0 +1,117 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/sim"
+)
+
+func TestSimClock(t *testing.T) {
+	k := sim.New(1)
+	c := Sim{K: k}
+	start := c.Now()
+	var firedAt time.Time
+	c.AfterFunc(5*time.Second, func() { firedAt = c.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if firedAt.Sub(start) != 5*time.Second {
+		t.Fatalf("fired at +%v, want +5s", firedAt.Sub(start))
+	}
+}
+
+func TestSimTimerStop(t *testing.T) {
+	k := sim.New(1)
+	c := Sim{K: k}
+	fired := false
+	tm := c.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTickerFiresRepeatedly(t *testing.T) {
+	k := sim.New(1)
+	c := Sim{K: k}
+	n := 0
+	tk := NewTicker(c, time.Second, func() { n++ })
+	if err := k.RunFor(10*time.Second + 500*time.Millisecond); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("ticks = %d, want 10", n)
+	}
+	tk.Stop()
+	if err := k.RunFor(5 * time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("ticker fired after Stop: %d", n)
+	}
+}
+
+func TestTickerStopIdempotent(t *testing.T) {
+	k := sim.New(1)
+	tk := NewTicker(Sim{K: k}, time.Second, func() {})
+	tk.Stop()
+	tk.Stop() // must not panic
+}
+
+func TestScaledClockCompresses(t *testing.T) {
+	k := sim.New(1)
+	c := Scaled{Inner: Sim{K: k}, Factor: 10}
+	var firedAt time.Time
+	c.AfterFunc(10*time.Second, func() { firedAt = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := firedAt.Sub(sim.Epoch); got != time.Second {
+		t.Fatalf("scaled delay = %v, want 1s", got)
+	}
+}
+
+func TestScaledClockZeroFactor(t *testing.T) {
+	k := sim.New(1)
+	c := Scaled{Inner: Sim{K: k}, Factor: 0}
+	var firedAt time.Time
+	c.AfterFunc(time.Second, func() { firedAt = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := firedAt.Sub(sim.Epoch); got != time.Second {
+		t.Fatalf("factor 0 should behave as 1: got %v", got)
+	}
+}
+
+func TestRealClockAfterFunc(t *testing.T) {
+	c := Real{}
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real AfterFunc never fired")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	base := 10 * time.Second
+	for i := 0; i < 1000; i++ {
+		d := Jitter(rng, base, 0.2)
+		if d < 8*time.Second || d > 12*time.Second {
+			t.Fatalf("jitter out of bounds: %v", d)
+		}
+	}
+	if Jitter(rng, base, 0) != base {
+		t.Fatal("zero-frac jitter changed duration")
+	}
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/proc"
+	"github.com/recursive-restart/mercury/internal/trace"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// FDParams configures the failure detector.
+type FDParams struct {
+	// PingPeriod is the per-target liveness ping interval (paper: 1 s,
+	// chosen to minimise detection time without overloading mbus).
+	PingPeriod time.Duration
+	// PingTimeout is how long FD waits for the application-level pong.
+	PingTimeout time.Duration
+	// ReReportInterval throttles repeat reports for a still-failed target.
+	ReReportInterval time.Duration
+	// Startup is FD's own startup time when (re)started by REC.
+	Startup time.Duration
+	// RECFailAfter is how many consecutive missed REC pongs trigger FD's
+	// special-case recovery of REC.
+	RECFailAfter int
+}
+
+// DefaultFDParams returns the paper's detector configuration.
+func DefaultFDParams() FDParams {
+	return FDParams{
+		PingPeriod:       time.Second,
+		PingTimeout:      200 * time.Millisecond,
+		ReReportInterval: 2 * time.Second,
+		Startup:          500 * time.Millisecond,
+		RECFailAfter:     3,
+	}
+}
+
+// FD is the failure detector: it liveness-pings every monitored component
+// over mbus (and the mbus broker itself), and reports failures to REC over
+// their dedicated link. Because an mbus outage makes every target look
+// dead at once, FD diagnoses the broker first: while the broker is
+// suspected, only the broker is reported.
+//
+// FD also monitors REC over the dedicated link and, as the paper's special
+// case requires, initiates REC's recovery itself when REC dies (the
+// procedural knowledge for everything else lives in REC).
+type FD struct {
+	params  FDParams
+	targets []string
+	broker  string
+
+	// restartREC performs REC's recovery (typically mgr.Restart). It runs
+	// on the dispatch context.
+	restartREC func()
+
+	ready            bool
+	seq              uint64
+	nonce            uint64
+	targetSt         map[string]*targetState
+	lastBrokerPong   time.Time
+	lastSuspectRelay map[string]time.Time
+	recMissed        int
+	recNonce         uint64
+	recWait          bool
+}
+
+// targetState is FD's per-component suspicion bookkeeping.
+type targetState struct {
+	outstanding  uint64 // nonce awaiting pong, 0 = none
+	suspected    bool
+	lastReportAt time.Time
+	everReported bool
+}
+
+// NewFD returns a factory for FD handlers. targets are the monitored
+// components (including the broker); broker names the message bus;
+// restartREC performs the special-case REC recovery.
+func NewFD(p FDParams, targets []string, broker string, restartREC func()) func() proc.Handler {
+	return func() proc.Handler {
+		fd := &FD{
+			params:           p,
+			targets:          append([]string(nil), targets...),
+			broker:           broker,
+			restartREC:       restartREC,
+			targetSt:         make(map[string]*targetState, len(targets)),
+			lastSuspectRelay: make(map[string]time.Time),
+		}
+		for _, t := range targets {
+			fd.targetSt[t] = &targetState{}
+		}
+		return fd
+	}
+}
+
+// Start implements proc.Handler.
+func (fd *FD) Start(ctx proc.Context) {
+	ctx.After(fd.params.Startup, func() {
+		fd.ready = true
+		ctx.Ready()
+		// Stagger the ping loops so the bus sees a smooth ping stream.
+		for i, target := range fd.targets {
+			target := target
+			offset := time.Duration(i) * fd.params.PingPeriod / time.Duration(len(fd.targets)+1)
+			ctx.After(offset, func() { fd.pingLoop(ctx, target) })
+		}
+		ctx.After(fd.params.PingPeriod/2, func() { fd.recLoop(ctx) })
+	})
+}
+
+// pingLoop sends one liveness ping and schedules its verification; the
+// verification schedules the next ping, so exactly one probe per target is
+// in flight.
+func (fd *FD) pingLoop(ctx proc.Context, target string) {
+	st := fd.targetSt[target]
+	fd.nonce++
+	nonce := fd.nonce
+	st.outstanding = nonce
+	fd.seq++
+	ctx.Send(xmlcmd.NewPing(xmlcmd.AddrFD, target, fd.seq, nonce))
+	ctx.After(fd.params.PingTimeout, func() {
+		if st.outstanding == nonce {
+			// No pong: the target is fail-silent (or unreachable).
+			st.outstanding = 0
+			fd.suspect(ctx, target)
+		}
+		next := fd.params.PingPeriod - fd.params.PingTimeout
+		ctx.After(next, func() { fd.pingLoop(ctx, target) })
+	})
+}
+
+// suspect marks the target failed and reports it to REC, subject to the
+// broker-first rule and the re-report throttle. A silent non-broker target
+// is indistinguishable from a dead bus, so before blaming the component FD
+// probes the broker out of band: if the broker answers, the component is
+// really down; if not, the broker is the diagnosis (paper: "mbus itself is
+// monitored as well").
+func (fd *FD) suspect(ctx proc.Context, target string) {
+	st := fd.targetSt[target]
+	st.suspected = true
+	if target == fd.broker {
+		fd.report(ctx, target)
+		return
+	}
+	if b, ok := fd.targetSt[fd.broker]; ok && b.suspected {
+		// The bus is already the diagnosis; re-reporting will catch real
+		// casualties once it recovers.
+		return
+	}
+	probeAt := ctx.Now()
+	fd.nonce++
+	fd.seq++
+	ctx.Send(xmlcmd.NewPing(xmlcmd.AddrFD, fd.broker, fd.seq, fd.nonce))
+	ctx.After(fd.params.PingTimeout, func() {
+		if !st.suspected {
+			return // target answered a later ping meanwhile
+		}
+		if fd.lastBrokerPong.After(probeAt) {
+			fd.report(ctx, target)
+			return
+		}
+		if b, ok := fd.targetSt[fd.broker]; ok {
+			b.suspected = true
+			fd.report(ctx, fd.broker)
+		}
+	})
+}
+
+// report delivers a failure report over the dedicated link, throttled per
+// target.
+func (fd *FD) report(ctx proc.Context, target string) {
+	st := fd.targetSt[target]
+	now := ctx.Now()
+	if st.everReported && now.Sub(st.lastReportAt) < fd.params.ReReportInterval {
+		return
+	}
+	st.lastReportAt = now
+	st.everReported = true
+	ctx.Log().Add(now, trace.FailureDetected, target, "", "reported to rec")
+	fd.seq++
+	ctx.Send(xmlcmd.NewEvent(xmlcmd.AddrFD, xmlcmd.AddrREC, fd.seq, "failure", target))
+}
+
+// recLoop monitors REC over the dedicated link.
+func (fd *FD) recLoop(ctx proc.Context) {
+	if fd.recWait {
+		return
+	}
+	fd.nonce++
+	nonce := fd.nonce
+	fd.recNonce = nonce
+	fd.seq++
+	ctx.Send(xmlcmd.NewPing(xmlcmd.AddrFD, xmlcmd.AddrREC, fd.seq, nonce))
+	ctx.After(fd.params.PingTimeout, func() {
+		if fd.recNonce == nonce {
+			fd.recMissed++
+			if fd.recMissed >= fd.params.RECFailAfter {
+				fd.recMissed = 0
+				ctx.Log().Add(ctx.Now(), trace.FailureDetected, xmlcmd.AddrREC, "",
+					"fd initiating rec recovery")
+				if fd.restartREC != nil {
+					fd.restartREC()
+				}
+			}
+		}
+		ctx.After(fd.params.PingPeriod-fd.params.PingTimeout, func() { fd.recLoop(ctx) })
+	})
+}
+
+// Receive implements proc.Handler.
+func (fd *FD) Receive(ctx proc.Context, m *xmlcmd.Message) {
+	switch m.Kind() {
+	case xmlcmd.KindPong:
+		if m.From == xmlcmd.AddrREC {
+			if m.Pong.Nonce == fd.recNonce {
+				fd.recNonce = 0
+				fd.recMissed = 0
+			}
+			return
+		}
+		st, ok := fd.targetSt[m.From]
+		if !ok {
+			return
+		}
+		if m.From == fd.broker {
+			// Any broker pong proves bus liveness, including out-of-band
+			// verification probes.
+			fd.lastBrokerPong = ctx.Now()
+			st.suspected = false
+		}
+		if m.Pong.Nonce == st.outstanding {
+			st.outstanding = 0
+			st.suspected = false
+		}
+	case xmlcmd.KindPing:
+		// REC liveness-pings FD over the dedicated link.
+		if fd.ready {
+			fd.seq++
+			pong := xmlcmd.NewPong(xmlcmd.AddrFD, m, ctx.Incarnation())
+			pong.Seq = m.Seq
+			ctx.Send(pong)
+		}
+	case xmlcmd.KindHealth:
+		// Health-summary beacons (paper §7): warnings of suspect behaviour
+		// that has not yet caused a failure are relayed to REC, whose
+		// rejuvenation policy may act on them.
+		if m.Health.Suspect && fd.ready {
+			now := ctx.Now()
+			if last, ok := fd.lastSuspectRelay[m.From]; !ok || now.Sub(last) >= fd.params.ReReportInterval {
+				fd.lastSuspectRelay[m.From] = now
+				fd.seq++
+				ctx.Send(xmlcmd.NewEvent(xmlcmd.AddrFD, xmlcmd.AddrREC, fd.seq, "suspect", m.From))
+			}
+		}
+	}
+}
+
+// Suspected reports FD's current suspicion for a target (for tests and the
+// ops console).
+func (fd *FD) Suspected(target string) bool {
+	st, ok := fd.targetSt[target]
+	return ok && st.suspected
+}

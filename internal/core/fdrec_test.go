@@ -1,0 +1,520 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/bus"
+	"github.com/recursive-restart/mercury/internal/clock"
+	"github.com/recursive-restart/mercury/internal/fault"
+	"github.com/recursive-restart/mercury/internal/proc"
+	"github.com/recursive-restart/mercury/internal/sim"
+	"github.com/recursive-restart/mercury/internal/trace"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// simpleComp is a synthetic station component: ready after a fixed
+// startup, answers pings when ready.
+type simpleComp struct {
+	startup time.Duration
+	ready   bool
+}
+
+func (c *simpleComp) Start(ctx proc.Context) {
+	d := time.Duration(float64(c.startup) * ctx.Stretch())
+	ctx.After(d, func() {
+		c.ready = true
+		ctx.Ready()
+	})
+}
+
+func (c *simpleComp) Receive(ctx proc.Context, m *xmlcmd.Message) {
+	if m.Kind() == xmlcmd.KindPing && c.ready {
+		ctx.Send(xmlcmd.NewPong(ctx.Name(), m, ctx.Incarnation()))
+	}
+}
+
+// harness wires a minimal recursively-restartable system: broker + two
+// synthetic components + fault board + FD + REC.
+type harness struct {
+	k      *sim.Kernel
+	mgr    *proc.Manager
+	bus    *bus.Sim
+	board  *fault.Board
+	log    *trace.Log
+	handle *RECHandle
+	comps  []string
+}
+
+func newHarness(t *testing.T, seed int64, tree *Tree, oracle Oracle) *harness {
+	t.Helper()
+	k := sim.New(seed)
+	log := trace.NewLog()
+	clk := clock.Sim{K: k}
+	mgr := proc.NewManager(clk, k.Rand(), log)
+	b := bus.NewSim(clk, mgr, "mbus")
+	mgr.SetTransport(b)
+	board := fault.NewBoard(clk, mgr, log)
+
+	comps := []string{"mbus", "a", "b"}
+	if err := mgr.Register("mbus", bus.BrokerHandler(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		startup := 2 * time.Second
+		if name == "b" {
+			startup = 4 * time.Second
+		}
+		dur := startup
+		if err := mgr.Register(name, func() proc.Handler { return &simpleComp{startup: dur} }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	restartFD := func() {
+		if st, _ := mgr.State(xmlcmd.AddrFD); st != proc.Starting {
+			_ = mgr.Restart([]string{xmlcmd.AddrFD})
+		}
+	}
+	restartREC := func() {
+		if st, _ := mgr.State(xmlcmd.AddrREC); st != proc.Starting {
+			_ = mgr.Restart([]string{xmlcmd.AddrREC})
+		}
+	}
+	recFactory, handle := NewREC(DefaultRECParams(), tree, oracle, mgr, restartFD)
+	if err := mgr.Register(xmlcmd.AddrREC, recFactory); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Register(xmlcmd.AddrFD, NewFD(DefaultFDParams(), comps, "mbus", restartREC)); err != nil {
+		t.Fatal(err)
+	}
+	b.AddDirectLink(xmlcmd.AddrFD, xmlcmd.AddrREC)
+
+	h := &harness{k: k, mgr: mgr, bus: b, board: board, log: log, handle: handle, comps: comps}
+	if err := mgr.StartBatch(comps); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !mgr.AllServing(comps...) {
+		t.Fatal("harness components did not boot")
+	}
+	if err := mgr.StartBatch([]string{xmlcmd.AddrFD, xmlcmd.AddrREC}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// treeII builds a depth-augmented tree over the harness components.
+func treeII(t *testing.T) *Tree {
+	t.Helper()
+	t1, err := TrivialTree("h-I", []string{"mbus", "a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := DepthAugment(t1, "h-II")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return t2
+}
+
+// runUntilRecovered steps the simulation until all components serve and no
+// fault is active, or the deadline passes.
+func (h *harness) runUntilRecovered(t *testing.T, limit time.Duration) time.Duration {
+	t.Helper()
+	start := h.k.Now()
+	deadline := start.Add(limit)
+	for h.k.Now().Before(deadline) {
+		if h.mgr.AllServing(h.comps...) && h.board.ActiveCount() == 0 {
+			return h.k.Now().Sub(start)
+		}
+		if !h.k.Step() {
+			t.Fatal("simulation went idle before recovery")
+		}
+	}
+	t.Fatalf("no recovery within %v; states: %s", limit, h.describe())
+	return 0
+}
+
+func (h *harness) describe() string {
+	var sb strings.Builder
+	for _, c := range h.comps {
+		st, _ := h.mgr.State(c)
+		sb.WriteString(c + "=" + st.String() + " ")
+	}
+	return sb.String()
+}
+
+func TestAutomatedRecoveryFromKill(t *testing.T) {
+	h := newHarness(t, 1, treeII(t), EscalatingOracle{})
+	if err := h.board.Inject(fault.Fault{Manifest: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	d := h.runUntilRecovered(t, 30*time.Second)
+	// Detection (~0.5-1.2s) + restart of a (2s): well under b's share.
+	if d > 5*time.Second {
+		t.Fatalf("recovery took %v, want < 5s for component-only restart", d)
+	}
+	// Only a (and nothing else) should have been restarted.
+	if n, _ := h.mgr.Restarts("a"); n != 1 {
+		t.Fatalf("a restarted %d times", n)
+	}
+	if n, _ := h.mgr.Restarts("b"); n != 0 {
+		t.Fatalf("b restarted %d times; partial restart leaked", n)
+	}
+}
+
+func TestEscalationCuresJointFault(t *testing.T) {
+	h := newHarness(t, 2, treeII(t), EscalatingOracle{})
+	// The fault manifests at a but needs {a, b} restarted together.
+	if err := h.board.Inject(fault.Fault{Manifest: "a", Cure: []string{"a", "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	d := h.runUntilRecovered(t, 60*time.Second)
+	// Two rounds: restart a (fails to cure), escalate to root.
+	if d < 5*time.Second {
+		t.Fatalf("recovery suspiciously fast (%v) for an escalation", d)
+	}
+	guesses := h.log.Filter(func(e trace.Event) bool { return e.Kind == trace.OracleGuess })
+	if len(guesses) < 2 {
+		t.Fatalf("expected at least 2 oracle guesses, got %d", len(guesses))
+	}
+	if !strings.Contains(guesses[len(guesses)-1].Detail, "attempt=2") {
+		t.Fatalf("no escalation recorded: %v", guesses)
+	}
+}
+
+func TestPerfectOracleSkipsEscalation(t *testing.T) {
+	h := newHarness(t, 3, treeII(t), PerfectOracle{Advisor: nil})
+	h.handle.SetPolicy(h.handle.Tree(), PerfectOracle{Advisor: h.board})
+	if err := h.board.Inject(fault.Fault{Manifest: "a", Cure: []string{"a", "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	h.runUntilRecovered(t, 60*time.Second)
+	guesses := h.log.Filter(func(e trace.Event) bool { return e.Kind == trace.OracleGuess })
+	if len(guesses) != 1 {
+		t.Fatalf("perfect oracle used %d guesses, want 1: %v", len(guesses), guesses)
+	}
+	// It went straight to the root (the only node covering {a,b}).
+	if !strings.Contains(guesses[0].Node, "a") || !strings.Contains(guesses[0].Node, "b") {
+		t.Fatalf("perfect oracle chose %q", guesses[0].Node)
+	}
+}
+
+func TestFaultyOracleAlwaysWrongEscalates(t *testing.T) {
+	h := newHarness(t, 4, treeII(t), EscalatingOracle{})
+	h.handle.SetPolicy(h.handle.Tree(), &FaultyOracle{P: 1.0, Advisor: h.board, Rng: h.k.Rand()})
+	if err := h.board.Inject(fault.Fault{Manifest: "a", Cure: []string{"a", "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	h.runUntilRecovered(t, 60*time.Second)
+	guesses := h.log.Filter(func(e trace.Event) bool { return e.Kind == trace.OracleGuess })
+	if len(guesses) < 2 {
+		t.Fatalf("always-wrong oracle cured in %d guesses", len(guesses))
+	}
+}
+
+func TestMbusFailureDiagnosedFirst(t *testing.T) {
+	h := newHarness(t, 5, treeII(t), EscalatingOracle{})
+	if err := h.board.Inject(fault.Fault{Manifest: "mbus"}); err != nil {
+		t.Fatal(err)
+	}
+	h.runUntilRecovered(t, 30*time.Second)
+	// While the broker was down every target looked dead; only mbus may
+	// have been restarted.
+	for _, c := range []string{"a", "b"} {
+		if n, _ := h.mgr.Restarts(c); n != 0 {
+			t.Fatalf("%s restarted %d times during broker outage", c, n)
+		}
+	}
+	if n, _ := h.mgr.Restarts("mbus"); n != 1 {
+		t.Fatalf("mbus restarted %d times", n)
+	}
+}
+
+func TestGiveUpOnHardFault(t *testing.T) {
+	h := newHarness(t, 6, treeII(t), EscalatingOracle{})
+	if err := h.board.Inject(fault.Fault{Manifest: "a", Hard: true}); err != nil {
+		t.Fatal(err)
+	}
+	_ = h.k.RunFor(3 * time.Minute)
+	giveups := h.log.Filter(func(e trace.Event) bool { return e.Kind == trace.GiveUp })
+	if len(giveups) == 0 {
+		t.Fatal("policy never gave up on a hard failure")
+	}
+	if !h.handle.Abandoned("a") {
+		t.Fatal("component not marked abandoned")
+	}
+	// After giving up, restarts must stop.
+	before, _ := h.mgr.Restarts("a")
+	_ = h.k.RunFor(time.Minute)
+	after, _ := h.mgr.Restarts("a")
+	if after != before {
+		t.Fatalf("restarts continued after give-up: %d -> %d", before, after)
+	}
+}
+
+func TestFDKilledRECRecoversIt(t *testing.T) {
+	h := newHarness(t, 7, treeII(t), EscalatingOracle{})
+	if err := h.mgr.Kill(xmlcmd.AddrFD, "test kill of fd"); err != nil {
+		t.Fatal(err)
+	}
+	_ = h.k.RunFor(15 * time.Second)
+	if !h.mgr.Serving(xmlcmd.AddrFD) {
+		t.Fatal("REC did not recover FD")
+	}
+	// The system still heals afterwards.
+	if err := h.board.Inject(fault.Fault{Manifest: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	h.runUntilRecovered(t, 30*time.Second)
+}
+
+func TestRECKilledFDRecoversIt(t *testing.T) {
+	h := newHarness(t, 8, treeII(t), EscalatingOracle{})
+	if err := h.mgr.Kill(xmlcmd.AddrREC, "test kill of rec"); err != nil {
+		t.Fatal(err)
+	}
+	_ = h.k.RunFor(15 * time.Second)
+	if !h.mgr.Serving(xmlcmd.AddrREC) {
+		t.Fatal("FD did not recover REC")
+	}
+	if err := h.board.Inject(fault.Fault{Manifest: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	h.runUntilRecovered(t, 30*time.Second)
+}
+
+func TestNoSpuriousRestartsWhenHealthy(t *testing.T) {
+	h := newHarness(t, 9, treeII(t), EscalatingOracle{})
+	_ = h.k.RunFor(2 * time.Minute)
+	for _, c := range h.comps {
+		if n, _ := h.mgr.Restarts(c); n != 0 {
+			t.Fatalf("healthy %s restarted %d times", c, n)
+		}
+	}
+}
+
+func TestConcurrentIndependentFailures(t *testing.T) {
+	h := newHarness(t, 10, treeII(t), EscalatingOracle{})
+	if err := h.board.Inject(fault.Fault{Manifest: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.board.Inject(fault.Fault{Manifest: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	d := h.runUntilRecovered(t, 30*time.Second)
+	// Recoveries overlap: total well under the sum of sequential paths.
+	if d > 10*time.Second {
+		t.Fatalf("concurrent recovery took %v", d)
+	}
+	if n, _ := h.mgr.Restarts("a"); n != 1 {
+		t.Fatalf("a restarted %d times", n)
+	}
+	if n, _ := h.mgr.Restarts("b"); n != 1 {
+		t.Fatalf("b restarted %d times", n)
+	}
+}
+
+func TestOracleChooseValidation(t *testing.T) {
+	tr := treeII(t)
+	for _, o := range []Oracle{EscalatingOracle{}, PerfectOracle{}, &FaultyOracle{P: 0.5, Rng: sim.New(1).Rand()}} {
+		if _, err := o.Choose(nil, "a", nil, 1); err == nil {
+			t.Fatalf("%s accepted nil tree", o.Name())
+		}
+		if _, err := o.Choose(tr, "ghost", nil, 1); err == nil {
+			t.Fatalf("%s accepted unknown component", o.Name())
+		}
+		if o.Name() == "" {
+			t.Fatal("empty oracle name")
+		}
+	}
+}
+
+func TestEscalationStopsAtRoot(t *testing.T) {
+	tr := treeII(t)
+	root := tr.Root()
+	n, err := EscalatingOracle{}.Choose(tr, "a", root, 3)
+	if err != nil || n != root {
+		t.Fatalf("escalation from root = %v, %v; want root", n, err)
+	}
+}
+
+// TestReadyGraceIgnoresStaleReports: a report for a serving component
+// within the grace window after its ready is stale and must not trigger a
+// restart; the same report outside the window is trusted (the process
+// manager's view can lag reality, e.g. a hung child process).
+func TestReadyGraceIgnoresStaleReports(t *testing.T) {
+	h := newHarness(t, 11, treeII(t), EscalatingOracle{})
+	// Recover once so REC has a readyAt record for a.
+	if err := h.board.Inject(fault.Fault{Manifest: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	h.runUntilRecovered(t, 30*time.Second)
+	restartsAfterFirst, _ := h.mgr.Restarts("a")
+
+	// Forge a stale report immediately after recovery: a is serving and
+	// just became ready, so REC must ignore it.
+	h.bus.Send(xmlcmd.NewEvent(xmlcmd.AddrFD, xmlcmd.AddrREC, 999, "failure", "a"))
+	_ = h.k.RunFor(5 * time.Second)
+	if n, _ := h.mgr.Restarts("a"); n != restartsAfterFirst {
+		t.Fatalf("stale report triggered a restart: %d -> %d", restartsAfterFirst, n)
+	}
+
+	// Long after ready, the same report is trusted even though the manager
+	// still believes a is serving.
+	_ = h.k.RunFor(time.Minute)
+	h.bus.Send(xmlcmd.NewEvent(xmlcmd.AddrFD, xmlcmd.AddrREC, 1000, "failure", "a"))
+	_ = h.k.RunFor(10 * time.Second)
+	if n, _ := h.mgr.Restarts("a"); n != restartsAfterFirst+1 {
+		t.Fatalf("trusted report did not restart: %d", n)
+	}
+}
+
+// TestHangDetectedAndRecovered: a hang (silence) is fail-silent like a
+// crash and must be cured by the same restart path.
+func TestHangDetectedAndRecovered(t *testing.T) {
+	h := newHarness(t, 12, treeII(t), EscalatingOracle{})
+	if err := h.board.Inject(fault.Fault{Manifest: "b", Hang: true}); err != nil {
+		t.Fatal(err)
+	}
+	d := h.runUntilRecovered(t, 30*time.Second)
+	if d > 8*time.Second {
+		t.Fatalf("hang recovery took %v", d)
+	}
+	if n, _ := h.mgr.Restarts("b"); n != 1 {
+		t.Fatalf("b restarted %d times", n)
+	}
+}
+
+// hwComp models a component whose startup needs working hardware: while
+// the device is wedged, every plain restart fails at startup.
+type hwComp struct {
+	wedged *bool
+	ready  bool
+}
+
+func (c *hwComp) Start(ctx proc.Context) {
+	if *c.wedged {
+		ctx.After(100*time.Millisecond, func() { ctx.Fail("hardware wedged") })
+		return
+	}
+	ctx.After(2*time.Second, func() {
+		c.ready = true
+		ctx.Ready()
+	})
+}
+
+func (c *hwComp) Receive(ctx proc.Context, m *xmlcmd.Message) {
+	if m.Kind() == xmlcmd.KindPing && c.ready {
+		ctx.Send(xmlcmd.NewPong(ctx.Name(), m, ctx.Incarnation()))
+	}
+}
+
+// newHWHarness builds a harness whose component "a" depends on wedgeable
+// hardware, optionally registering the §7 custom recovery procedure that
+// power-cycles the device before the restart.
+func newHWHarness(t *testing.T, seed int64, withProcedure bool) (*harness, *bool) {
+	t.Helper()
+	wedged := new(bool)
+	k := sim.New(seed)
+	log := trace.NewLog()
+	clk := clock.Sim{K: k}
+	mgr := proc.NewManager(clk, k.Rand(), log)
+	b := bus.NewSim(clk, mgr, "mbus")
+	mgr.SetTransport(b)
+	board := fault.NewBoard(clk, mgr, log)
+
+	comps := []string{"mbus", "a"}
+	if err := mgr.Register("mbus", bus.BrokerHandler(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Register("a", func() proc.Handler { return &hwComp{wedged: wedged} }); err != nil {
+		t.Fatal(err)
+	}
+
+	params := DefaultRECParams()
+	if withProcedure {
+		params.Procedures = map[string]Recovery{
+			"a": FuncRecovery{
+				Label: "power-cycle+restart",
+				Fn: func(set []string) error {
+					*wedged = false // power-cycle the device
+					return mgr.Restart(set)
+				},
+			},
+		}
+	}
+	t1, err := TrivialTree("hw-I", comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := DepthAugment(t1, "hw-II")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recFactory, handle := NewREC(params, tree, EscalatingOracle{}, mgr, nil)
+	if err := mgr.Register(xmlcmd.AddrREC, recFactory); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Register(xmlcmd.AddrFD, NewFD(DefaultFDParams(), comps, "mbus", nil)); err != nil {
+		t.Fatal(err)
+	}
+	b.AddDirectLink(xmlcmd.AddrFD, xmlcmd.AddrREC)
+
+	h := &harness{k: k, mgr: mgr, bus: b, board: board, log: log, handle: handle, comps: comps}
+	if err := mgr.StartBatch(comps); err != nil {
+		t.Fatal(err)
+	}
+	_ = k.RunFor(10 * time.Second)
+	if !mgr.AllServing(comps...) {
+		t.Fatal("hw harness did not boot")
+	}
+	if err := mgr.StartBatch([]string{xmlcmd.AddrFD, xmlcmd.AddrREC}); err != nil {
+		t.Fatal(err)
+	}
+	_ = k.RunFor(2 * time.Second)
+	return h, wedged
+}
+
+// TestHardwareWedgeDefeatsPlainRestart: without a custom procedure, the
+// policy exhausts its budget and gives up — §7's point that restart cannot
+// recover from a hard hardware failure.
+func TestHardwareWedgeDefeatsPlainRestart(t *testing.T) {
+	h, wedged := newHWHarness(t, 13, false)
+	*wedged = true
+	_ = h.mgr.Kill("a", "hardware wedge crash")
+	_ = h.k.RunFor(3 * time.Minute)
+	if h.mgr.Serving("a") {
+		t.Fatal("wedged hardware recovered by plain restart")
+	}
+	giveups := h.log.Filter(func(e trace.Event) bool { return e.Kind == trace.GiveUp })
+	if len(giveups) == 0 {
+		t.Fatal("policy never gave up on the hard failure")
+	}
+}
+
+// TestCustomRecoveryProcedureCuresHardFailure: the registered §7 procedure
+// power-cycles the device before the restart, curing what a plain restart
+// cannot.
+func TestCustomRecoveryProcedureCuresHardFailure(t *testing.T) {
+	h, wedged := newHWHarness(t, 14, true)
+	*wedged = true
+	_ = h.mgr.Kill("a", "hardware wedge crash")
+	h.runUntilRecovered(t, time.Minute)
+	reqs := h.log.Filter(func(e trace.Event) bool {
+		return e.Kind == trace.RestartRequested && strings.Contains(e.Detail, "power-cycle")
+	})
+	if len(reqs) == 0 {
+		t.Fatal("custom procedure never invoked")
+	}
+	if *wedged {
+		t.Fatal("device still wedged")
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OutcomeObserver is implemented by oracles that learn from restart
+// outcomes. The recoverer reports every resolved attempt: cured means no
+// failure re-manifested within the persistence window after the restart.
+type OutcomeObserver interface {
+	Observe(component string, node *Node, cured bool)
+}
+
+// LearningOracle implements the paper's §7 future work: "extend the oracle
+// with the ability to learn from its mistakes and this way generate
+// estimates for f_ci values". It keeps per-(component, node) cure
+// statistics and picks the lowest node on the failed component's root path
+// whose estimated cure probability clears a confidence bar; with no
+// evidence it behaves like the escalating oracle (cheapest first), and a
+// small exploration rate keeps re-testing lower nodes so the estimates can
+// track a changing system.
+type LearningOracle struct {
+	// Confidence is the cure-probability bar a node must clear to be
+	// chosen outright.
+	Confidence float64
+	// Explore is the probability of deliberately trying the component's
+	// own cell regardless of the estimates.
+	Explore float64
+
+	rng   *rand.Rand
+	tries map[string]map[string]int
+	cures map[string]map[string]int
+}
+
+var (
+	_ Oracle          = (*LearningOracle)(nil)
+	_ OutcomeObserver = (*LearningOracle)(nil)
+)
+
+// NewLearningOracle builds a learning oracle with standard settings.
+func NewLearningOracle(rng *rand.Rand) *LearningOracle {
+	return &LearningOracle{
+		Confidence: 0.6,
+		Explore:    0.05,
+		rng:        rng,
+		tries:      make(map[string]map[string]int),
+		cures:      make(map[string]map[string]int),
+	}
+}
+
+// Name implements Oracle.
+func (o *LearningOracle) Name() string { return "learning" }
+
+// cureProb returns the Laplace-smoothed cure estimate for restarting node
+// when the failure manifested at component. Unseen pairs start at 0.5.
+func (o *LearningOracle) cureProb(component, label string) float64 {
+	t := o.tries[component][label]
+	c := o.cures[component][label]
+	return (float64(c) + 1) / (float64(t) + 2)
+}
+
+// Choose implements Oracle.
+func (o *LearningOracle) Choose(t *Tree, component string, prev *Node, attempt int) (*Node, error) {
+	if t == nil {
+		return nil, ErrNilTree
+	}
+	if attempt > 1 {
+		return escalate(t, component, prev)
+	}
+	cell, err := t.CellOf(component)
+	if err != nil {
+		return nil, err
+	}
+	if o.rng != nil && o.rng.Float64() < o.Explore {
+		return cell, nil
+	}
+	// Walk the root path bottom-up: the first node confident enough wins.
+	var best *Node
+	bestProb := -1.0
+	for n := cell; n != nil; n = n.Parent() {
+		p := o.cureProb(component, n.Label())
+		if p >= o.Confidence {
+			return n, nil
+		}
+		if p > bestProb+1e-12 {
+			best, bestProb = n, p
+		}
+	}
+	if best == nil {
+		return cell, nil
+	}
+	return best, nil
+}
+
+// Observe implements OutcomeObserver.
+func (o *LearningOracle) Observe(component string, node *Node, cured bool) {
+	if node == nil {
+		return
+	}
+	label := node.Label()
+	if o.tries[component] == nil {
+		o.tries[component] = make(map[string]int)
+		o.cures[component] = make(map[string]int)
+	}
+	o.tries[component][label]++
+	if cured {
+		o.cures[component][label]++
+	}
+}
+
+// Estimates renders the learned f estimates for a component (for the
+// example and the ops console).
+func (o *LearningOracle) Estimates(component string) string {
+	out := ""
+	for label, t := range o.tries[component] {
+		out += fmt.Sprintf("%s: %.2f (%d tries)\n", label, o.cureProb(component, label), t)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// The oracle is the restart policy (paper §3.3): given a failure reported
+// at a component, it recommends the restart-tree node whose button the
+// recoverer should push. If the failure persists after the restart, the
+// recoverer asks again with an incremented attempt and the previous node;
+// policies then escalate toward the root.
+
+// CureAdvisor exposes minimal-cure knowledge about active faults. The
+// fault board implements it; the perfect oracle consults it — this is the
+// experimental device the paper uses ("we ran an experiment with a perfect
+// oracle"), not something a production policy could have.
+type CureAdvisor interface {
+	// MinimalCure returns the minimal cure set of the fault manifesting at
+	// the component, if one is known.
+	MinimalCure(component string) ([]string, bool)
+}
+
+// Oracle chooses restart nodes.
+type Oracle interface {
+	// Choose returns the node to restart for a failure reported at
+	// component. attempt starts at 1 for a fresh failure episode; prev is
+	// the node restarted by the previous attempt (nil when attempt == 1).
+	Choose(t *Tree, component string, prev *Node, attempt int) (*Node, error)
+	// Name identifies the policy in traces and tables.
+	Name() string
+}
+
+// ErrNilTree guards oracle calls.
+var ErrNilTree = errors.New("core: oracle called with nil tree")
+
+// escalate climbs one level from prev, staying at the root once reached.
+func escalate(t *Tree, component string, prev *Node) (*Node, error) {
+	if prev == nil {
+		return t.CellOf(component)
+	}
+	if p := prev.Parent(); p != nil {
+		return p, nil
+	}
+	return prev, nil // already at the root; policy budget will stop us
+}
+
+// EscalatingOracle is the realistic default policy: restart the failed
+// component's own cell first, then walk up the tree while the failure
+// persists. It needs no knowledge of fault structure.
+type EscalatingOracle struct{}
+
+var _ Oracle = EscalatingOracle{}
+
+// Name implements Oracle.
+func (EscalatingOracle) Name() string { return "escalating" }
+
+// Choose implements Oracle.
+func (EscalatingOracle) Choose(t *Tree, component string, prev *Node, attempt int) (*Node, error) {
+	if t == nil {
+		return nil, ErrNilTree
+	}
+	if attempt <= 1 {
+		return t.CellOf(component)
+	}
+	return escalate(t, component, prev)
+}
+
+// PerfectOracle embodies the minimal restart policy (A_oracle): for every
+// minimally n-curable failure it recommends node n, learned from the cure
+// advisor.
+type PerfectOracle struct {
+	Advisor CureAdvisor
+}
+
+var _ Oracle = PerfectOracle{}
+
+// Name implements Oracle.
+func (PerfectOracle) Name() string { return "perfect" }
+
+// Choose implements Oracle.
+func (o PerfectOracle) Choose(t *Tree, component string, prev *Node, attempt int) (*Node, error) {
+	if t == nil {
+		return nil, ErrNilTree
+	}
+	if attempt > 1 {
+		// A perfect oracle is never wrong, but induced failures (new
+		// failures created by a curing action) can still re-enter; keep
+		// the escalation ladder as a safety net.
+		return escalate(t, component, prev)
+	}
+	cure, ok := cureOf(o.Advisor, component)
+	if !ok {
+		return t.CellOf(component)
+	}
+	node, err := t.LowestCovering(cure)
+	if err != nil {
+		// The cure names components outside this tree (e.g. a split name
+		// under a monolithic layout); fall back to the component's cell.
+		return t.CellOf(component)
+	}
+	return node, nil
+}
+
+// FaultyOracle reproduces §4.4's experiment: it knows the minimal node but
+// guesses too low with probability P whenever the correct node is an
+// ancestor of the failed component's own cell. After a wrong guess it
+// realises the failure persists and escalates.
+type FaultyOracle struct {
+	P       float64
+	Advisor CureAdvisor
+	Rng     *rand.Rand
+}
+
+var _ Oracle = (*FaultyOracle)(nil)
+
+// Name implements Oracle.
+func (o *FaultyOracle) Name() string { return fmt.Sprintf("faulty(%.0f%%)", o.P*100) }
+
+// Choose implements Oracle.
+func (o *FaultyOracle) Choose(t *Tree, component string, prev *Node, attempt int) (*Node, error) {
+	if t == nil {
+		return nil, ErrNilTree
+	}
+	if attempt > 1 {
+		return escalate(t, component, prev)
+	}
+	cure, ok := cureOf(o.Advisor, component)
+	if !ok {
+		return t.CellOf(component)
+	}
+	correct, err := t.LowestCovering(cure)
+	if err != nil {
+		return t.CellOf(component)
+	}
+	cell, err := t.CellOf(component)
+	if err != nil {
+		return nil, err
+	}
+	if correct != cell && o.Rng.Float64() < o.P {
+		return cell, nil // guess-too-low mistake
+	}
+	return correct, nil
+}
+
+// cureOf queries the advisor, tolerating a nil advisor.
+func cureOf(a CureAdvisor, component string) ([]string, bool) {
+	if a == nil {
+		return nil, false
+	}
+	return a.MinimalCure(component)
+}

@@ -1,0 +1,459 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/proc"
+	"github.com/recursive-restart/mercury/internal/trace"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// RECParams configures the recoverer.
+type RECParams struct {
+	// Startup is REC's own startup time when (re)started by FD.
+	Startup time.Duration
+	// DecisionDelay models the oracle-consultation and process-control
+	// overhead before pushing a restart button.
+	DecisionDelay time.Duration
+	// PersistWindow is how soon after a restarted component's ready a new
+	// failure report for it counts as "the failure persists" (escalate the
+	// same episode) rather than a fresh failure.
+	PersistWindow time.Duration
+	// MaxRestarts and BudgetWindow bound restarts per component: more than
+	// MaxRestarts within BudgetWindow means a hard failure that restarting
+	// cannot cure, and the policy gives up (paper §2.2: "the policy also
+	// keeps track of past restarts to prevent infinite restarts").
+	MaxRestarts  int
+	BudgetWindow time.Duration
+	// FDPingPeriod / FDFailAfter drive REC's monitoring of FD.
+	FDPingPeriod time.Duration
+	FDTimeout    time.Duration
+	FDFailAfter  int
+
+	// ReadyGrace ignores failure reports for a component that is serving
+	// and became ready this recently: such reports raced with the
+	// recovery's completion (FD had a probe in flight) and acting on them
+	// would trigger a spurious second restart.
+	ReadyGrace time.Duration
+
+	// Rejuvenate enables proactive restarts (paper §7 health-summary
+	// beacons + [9]'s software rejuvenation): when FD relays a component's
+	// "suspect" health beacon, REC restarts that component's cell before
+	// the aging turns into a failure — provided IdleCheck (if set) says
+	// the downtime is cheap right now (§5.2: not during a pass).
+	Rejuvenate bool
+	// IdleCheck reports whether proactive downtime is acceptable now;
+	// nil means always.
+	IdleCheck func() bool
+	// RejuvenateCooldown throttles proactive restarts per component.
+	RejuvenateCooldown time.Duration
+
+	// Procedures maps a component to its custom recovery procedure
+	// (paper §7 recursive recovery: restart is just one example). The
+	// procedure runs whenever a recovery action targets exactly that
+	// component; escalated multi-component restarts stay plain restarts.
+	Procedures map[string]Recovery
+}
+
+// DefaultRECParams returns the calibrated recoverer configuration.
+func DefaultRECParams() RECParams {
+	return RECParams{
+		Startup:       500 * time.Millisecond,
+		DecisionDelay: 50 * time.Millisecond,
+		PersistWindow: 5 * time.Second,
+		MaxRestarts:   6,
+		BudgetWindow:  2 * time.Minute,
+		FDPingPeriod:  time.Second,
+		FDTimeout:     200 * time.Millisecond,
+		FDFailAfter:   3,
+
+		ReadyGrace:         1500 * time.Millisecond,
+		RejuvenateCooldown: 30 * time.Second,
+	}
+}
+
+// episode tracks one failure's recovery across escalation attempts.
+type episode struct {
+	attempt         int
+	prev            *Node
+	awaitingVerdict bool      // restart completed; watching for persistence
+	lastReadyAt     time.Time // when the restart action finished
+	pendingReady    map[string]bool
+	observed        bool // outcome already reported to a learning oracle
+}
+
+// REC is the recoverer: it owns the restart tree and the oracle, receives
+// failure reports from FD over the dedicated link, and pushes restart-cell
+// buttons via the process manager. It never decides *which* node to
+// restart — that is the oracle's job; REC executes, escalates persisting
+// episodes, enforces the restart budget, and (special case) monitors and
+// recovers FD.
+type REC struct {
+	params RECParams
+	tree   *Tree
+	oracle Oracle
+	mgr    *proc.Manager
+
+	// restartFD performs FD's recovery.
+	restartFD func()
+
+	ready     bool
+	seq       uint64
+	nonce     uint64
+	episodes  map[string]*episode
+	inFlight  map[string]bool // component has a decision or restart running
+	history   map[string][]time.Time
+	abandoned map[string]bool
+	lastRejuv map[string]time.Time
+	readyAt   map[string]time.Time
+	fdNonce   uint64
+	fdMissed  int
+}
+
+// recShared carries the long-lived wiring a fresh REC incarnation needs.
+type recShared struct {
+	params    RECParams
+	tree      *Tree
+	oracle    Oracle
+	mgr       *proc.Manager
+	restartFD func()
+	current   *REC
+}
+
+// RECHandle lets the host swap the tree/oracle between experiments and
+// reach the live handler.
+type RECHandle struct {
+	shared *recShared
+}
+
+// SetPolicy swaps the restart tree and oracle (takes effect for the
+// current and future incarnations).
+func (h *RECHandle) SetPolicy(t *Tree, o Oracle) {
+	h.shared.tree = t
+	h.shared.oracle = o
+	if h.shared.current != nil {
+		h.shared.current.tree = t
+		h.shared.current.oracle = o
+	}
+}
+
+// Tree returns the active restart tree.
+func (h *RECHandle) Tree() *Tree { return h.shared.tree }
+
+// Oracle returns the active policy.
+func (h *RECHandle) Oracle() Oracle { return h.shared.oracle }
+
+// Abandoned reports whether the policy has given up on a component.
+func (h *RECHandle) Abandoned(component string) bool {
+	if h.shared.current == nil {
+		return false
+	}
+	return h.shared.current.abandoned[component]
+}
+
+// NewREC returns a factory for REC handlers plus a handle for policy
+// swaps. Procedural state (episodes, budgets) is per-incarnation: a REC
+// restart loses it, exactly as a process restart would.
+func NewREC(p RECParams, tree *Tree, oracle Oracle, mgr *proc.Manager, restartFD func()) (func() proc.Handler, *RECHandle) {
+	shared := &recShared{
+		params:    p,
+		tree:      tree,
+		oracle:    oracle,
+		mgr:       mgr,
+		restartFD: restartFD,
+	}
+	// Restart-completion bookkeeping must survive handler churn, so the
+	// subscriptions forward to whichever incarnation is current.
+	mgr.OnReady(func(name string) {
+		if shared.current != nil {
+			shared.current.onReady(name)
+		}
+	})
+	mgr.OnDown(func(name, reason string) {
+		if shared.current != nil {
+			shared.current.onDownEvent(name, reason)
+		}
+	})
+	factory := func() proc.Handler {
+		r := &REC{
+			params:    shared.params,
+			tree:      shared.tree,
+			oracle:    shared.oracle,
+			mgr:       shared.mgr,
+			restartFD: shared.restartFD,
+			episodes:  make(map[string]*episode),
+			inFlight:  make(map[string]bool),
+			history:   make(map[string][]time.Time),
+			abandoned: make(map[string]bool),
+			lastRejuv: make(map[string]time.Time),
+			readyAt:   make(map[string]time.Time),
+		}
+		shared.current = r
+		return r
+	}
+	return factory, &RECHandle{shared: shared}
+}
+
+// Start implements proc.Handler.
+func (r *REC) Start(ctx proc.Context) {
+	ctx.After(r.params.Startup, func() {
+		r.ready = true
+		ctx.Ready()
+		ctx.After(r.params.FDPingPeriod/3, func() { r.fdLoop(ctx) })
+	})
+}
+
+// Receive implements proc.Handler.
+func (r *REC) Receive(ctx proc.Context, m *xmlcmd.Message) {
+	switch m.Kind() {
+	case xmlcmd.KindEvent:
+		if m.From != xmlcmd.AddrFD || !r.ready {
+			return
+		}
+		switch m.Event.Name {
+		case "failure":
+			r.onFailureReport(ctx, m.Event.Detail)
+		case "suspect":
+			r.onSuspect(ctx, m.Event.Detail)
+		}
+	case xmlcmd.KindPing:
+		if r.ready {
+			r.seq++
+			pong := xmlcmd.NewPong(xmlcmd.AddrREC, m, ctx.Incarnation())
+			ctx.Send(pong)
+		}
+	case xmlcmd.KindPong:
+		if m.From == xmlcmd.AddrFD && m.Pong.Nonce == r.fdNonce {
+			r.fdNonce = 0
+			r.fdMissed = 0
+		}
+	}
+}
+
+// onFailureReport is the heart of the recovery loop.
+func (r *REC) onFailureReport(ctx proc.Context, component string) {
+	if r.abandoned[component] {
+		return
+	}
+	if r.inFlight[component] {
+		return
+	}
+	if st, err := r.mgr.State(component); err != nil || st == proc.Starting {
+		// Unknown component, or its restart is still under way: the report
+		// is stale.
+		return
+	}
+	now := ctx.Now()
+	if r.mgr.Serving(component) && now.Sub(r.readyAt[component]) < r.params.ReadyGrace {
+		// The component recovered between FD's last probe and this report
+		// (detection lag right after a restart completes); acting on it
+		// would trigger a spurious second restart. A serving component
+		// reported *outside* the grace window is trusted — the process
+		// manager's view can be stale (e.g. a hung child process whose
+		// supervisor still believes it healthy).
+		return
+	}
+
+	// Budget: a component that keeps needing restarts has a hard failure.
+	hist := r.history[component]
+	cutoff := now.Add(-r.params.BudgetWindow)
+	kept := hist[:0]
+	for _, at := range hist {
+		if at.After(cutoff) {
+			kept = append(kept, at)
+		}
+	}
+	r.history[component] = kept
+	if len(kept) >= r.params.MaxRestarts {
+		r.abandoned[component] = true
+		ctx.Log().Add(now, trace.GiveUp, component, "",
+			fmt.Sprintf("restart budget exhausted (%d in %v)", len(kept), r.params.BudgetWindow))
+		return
+	}
+
+	// Episode continuation: if we just finished restarting for this
+	// component and the failure is back immediately, escalate.
+	ep := r.episodes[component]
+	if ep != nil && ep.awaitingVerdict && now.Sub(ep.lastReadyAt) <= r.params.PersistWindow {
+		ep.attempt++
+		ep.awaitingVerdict = false
+		r.observe(component, ep.prev, false)
+	} else {
+		if ep != nil && ep.awaitingVerdict && !ep.observed {
+			// The previous episode resolved quietly: its last restart
+			// cured the failure.
+			r.observe(component, ep.prev, true)
+		}
+		ep = &episode{attempt: 1}
+		r.episodes[component] = ep
+	}
+
+	node, err := r.oracle.Choose(r.tree, component, ep.prev, ep.attempt)
+	if err != nil {
+		ctx.Log().Add(now, trace.Note, component, "", "oracle error: "+err.Error())
+		return
+	}
+	ep.prev = node
+	ctx.Log().Add(now, trace.OracleGuess, component, node.Label(),
+		fmt.Sprintf("policy=%s attempt=%d", r.oracle.Name(), ep.attempt))
+
+	r.inFlight[component] = true
+	r.history[component] = append(r.history[component], now)
+	ctx.After(r.params.DecisionDelay, func() {
+		set := node.Subtree()
+		ep.pendingReady = make(map[string]bool, len(set))
+		for _, c := range set {
+			ep.pendingReady[c] = true
+		}
+		proc, detail := r.procedureFor(set)
+		ctx.Log().Add(ctx.Now(), trace.RestartRequested, component, node.Label(), detail)
+		if err := proc.Execute(set); err != nil {
+			ctx.Log().Add(ctx.Now(), trace.Note, component, node.Label(),
+				"recovery failed: "+err.Error())
+			delete(r.inFlight, component)
+		}
+	})
+}
+
+// procedureFor picks the recovery procedure for a restart set: a custom
+// per-component procedure when the set is that single component, else the
+// plain restart.
+func (r *REC) procedureFor(set []string) (Recovery, string) {
+	if len(set) == 1 && r.params.Procedures != nil {
+		if p, ok := r.params.Procedures[set[0]]; ok {
+			return p, "recovering [" + set[0] + "] via procedure " + p.Name()
+		}
+	}
+	return RestartRecovery{Exec: r.mgr.Restart}, "restarting [" + strings.Join(set, " ") + "]"
+}
+
+// onReady tracks restart-action completion for episode verdicts. It is
+// called for every component ready event in the system.
+func (r *REC) onReady(name string) {
+	r.readyAt[name] = r.mgr.Clock().Now()
+	for comp, ep := range r.episodes {
+		if ep.pendingReady == nil || !ep.pendingReady[name] {
+			continue
+		}
+		delete(ep.pendingReady, name)
+		if len(ep.pendingReady) == 0 {
+			ep.pendingReady = nil
+			ep.awaitingVerdict = true
+			ep.lastReadyAt = r.mgr.Clock().Now()
+			delete(r.inFlight, comp)
+			r.scheduleVerdict(comp, ep)
+		}
+	}
+}
+
+// onDownEvent watches for a restart action failing outright: a component
+// that dies while the action still awaits its ready never completes the
+// action, so the episode is closed as a persisting failure — the next
+// report escalates instead of deadlocking behind an in-flight action.
+func (r *REC) onDownEvent(name, reason string) {
+	if reason == "restart action" {
+		return // our own teardown preceding a respawn
+	}
+	for comp, ep := range r.episodes {
+		if ep.pendingReady == nil || !ep.pendingReady[name] {
+			continue
+		}
+		ep.pendingReady = nil
+		ep.awaitingVerdict = true
+		ep.lastReadyAt = r.mgr.Clock().Now()
+		delete(r.inFlight, comp)
+	}
+}
+
+// scheduleVerdict reports a cured outcome to a learning oracle once the
+// persistence window passes without the failure re-manifesting.
+func (r *REC) scheduleVerdict(comp string, ep *episode) {
+	if _, ok := r.oracle.(OutcomeObserver); !ok {
+		return
+	}
+	r.mgr.Clock().AfterFunc(r.params.PersistWindow+100*time.Millisecond, func() {
+		if r.episodes[comp] == ep && ep.awaitingVerdict && !ep.observed {
+			r.observe(comp, ep.prev, true)
+		}
+	})
+}
+
+// observe forwards an outcome to a learning oracle, once per attempt.
+func (r *REC) observe(comp string, node *Node, cured bool) {
+	obs, ok := r.oracle.(OutcomeObserver)
+	if !ok {
+		return
+	}
+	obs.Observe(comp, node, cured)
+	if ep := r.episodes[comp]; ep != nil {
+		ep.observed = cured // a persisted failure re-opens observation
+	}
+}
+
+// onSuspect handles a relayed health-beacon warning: the component is
+// aging but has not failed yet. If rejuvenation is enabled and downtime is
+// currently cheap, restart the component's cell proactively — bounded
+// software rejuvenation, the MTTF-raising half of recursive restartability.
+func (r *REC) onSuspect(ctx proc.Context, component string) {
+	if !r.params.Rejuvenate || r.inFlight[component] || r.abandoned[component] {
+		return
+	}
+	if r.params.IdleCheck != nil && !r.params.IdleCheck() {
+		return
+	}
+	now := ctx.Now()
+	if last, ok := r.lastRejuv[component]; ok && now.Sub(last) < r.params.RejuvenateCooldown {
+		return
+	}
+	if !r.mgr.Serving(component) {
+		return // a real failure is (about to be) handled by the main path
+	}
+	node, err := r.tree.CellOf(component)
+	if err != nil {
+		return
+	}
+	r.lastRejuv[component] = now
+	r.inFlight[component] = true
+	ctx.Log().Add(now, trace.Note, component, node.Label(), "proactive rejuvenation restart")
+	ctx.After(r.params.DecisionDelay, func() {
+		set := node.Subtree()
+		ep := &episode{attempt: 1, prev: node, pendingReady: make(map[string]bool, len(set))}
+		for _, c := range set {
+			ep.pendingReady[c] = true
+		}
+		r.episodes[component] = ep
+		ctx.Log().Add(ctx.Now(), trace.RestartRequested, component, node.Label(),
+			"rejuvenation restart of ["+strings.Join(set, " ")+"]")
+		if err := r.mgr.Restart(set); err != nil {
+			ctx.Log().Add(ctx.Now(), trace.Note, component, node.Label(),
+				"rejuvenation restart failed: "+err.Error())
+			delete(r.inFlight, component)
+		}
+	})
+}
+
+// fdLoop monitors FD over the dedicated link; REC performs FD's recovery
+// (the paper's other special case).
+func (r *REC) fdLoop(ctx proc.Context) {
+	r.nonce++
+	nonce := r.nonce
+	r.fdNonce = nonce
+	r.seq++
+	ctx.Send(xmlcmd.NewPing(xmlcmd.AddrREC, xmlcmd.AddrFD, r.seq, nonce))
+	ctx.After(r.params.FDTimeout, func() {
+		if r.fdNonce == nonce {
+			r.fdMissed++
+			if r.fdMissed >= r.params.FDFailAfter {
+				r.fdMissed = 0
+				ctx.Log().Add(ctx.Now(), trace.FailureDetected, xmlcmd.AddrFD, "",
+					"rec initiating fd recovery")
+				if r.restartFD != nil {
+					r.restartFD()
+				}
+			}
+		}
+		ctx.After(r.params.FDPingPeriod-r.params.FDTimeout, func() { r.fdLoop(ctx) })
+	})
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the paper's §4 restart-tree transformations. Each
+// transformation is non-destructive: it clones the input tree and returns
+// the evolved variant, so an experiment can hold trees I–V simultaneously.
+
+// TrivialTree builds tree I: a single restart cell holding every
+// component, so the only possible policy is a whole-system reboot.
+func TrivialTree(name string, components []string) (*Tree, error) {
+	comps := append([]string(nil), components...)
+	sort.Strings(comps)
+	return NewTree(name, &Node{Components: comps})
+}
+
+// DepthAugment (tree I → II) gives every component its own child cell
+// under the root, enabling bounded per-component restarts. Useful when
+// f_A + f_B > 0, i.e. some failures are curable below the root.
+func DepthAugment(t *Tree, name string) (*Tree, error) {
+	root := &Node{}
+	for _, comp := range t.Components() {
+		root.Children = append(root.Children, &Node{Components: []string{comp}})
+	}
+	return NewTree(name, root)
+}
+
+// SplitComponent (tree II → II′) replaces one component with its
+// sub-components, each in its own cell where the original's cell was. The
+// caller is responsible for the matching station-layout change (fedrcom →
+// fedr + pbcom).
+func SplitComponent(t *Tree, name, component string, into []string) (*Tree, error) {
+	if len(into) < 2 {
+		return nil, fmt.Errorf("core: split of %q needs at least two parts", component)
+	}
+	if _, err := t.CellOf(component); err != nil {
+		return nil, err
+	}
+	clone := cloneNode(t.root)
+	if !replaceComponent(clone, component, into, false) {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownComponent, component)
+	}
+	return NewTree(name, clone)
+}
+
+// GroupSplitComponent (tree II′ → III) replaces one component with a new
+// subtree: an inner cell whose children are the sub-components' cells.
+// The inner cell enables the joint restart that cures correlated failures
+// between the new parts without a whole-system restart (useful when
+// f_{A,B} > 0).
+func GroupSplitComponent(t *Tree, name, component string, into []string) (*Tree, error) {
+	if len(into) < 2 {
+		return nil, fmt.Errorf("core: split of %q needs at least two parts", component)
+	}
+	if _, err := t.CellOf(component); err != nil {
+		return nil, err
+	}
+	clone := cloneNode(t.root)
+	if !replaceComponent(clone, component, into, true) {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownComponent, component)
+	}
+	return NewTree(name, clone)
+}
+
+// replaceComponent rewrites the first cell holding component. With group
+// set, the replacement is an inner node with one child cell per part;
+// otherwise the parts become sibling cells in place of the original cell
+// (or in-place attachments when the cell also holds other components).
+// parent/slot identify where n hangs so the flat split can splice
+// siblings; parent is nil at the root.
+func replaceComponent(n *Node, component string, into []string, group bool) bool {
+	return replaceComponentAt(nil, -1, n, component, into, group)
+}
+
+func replaceComponentAt(parent *Node, slot int, n *Node, component string, into []string, group bool) bool {
+	for i, comp := range n.Components {
+		if comp != component {
+			continue
+		}
+		n.Components = append(n.Components[:i], n.Components[i+1:]...)
+		parts := make([]*Node, 0, len(into))
+		for _, p := range into {
+			parts = append(parts, &Node{Components: []string{p}})
+		}
+		switch {
+		case group && len(n.Components) == 0 && len(n.Children) == 0 && parent != nil:
+			// The cell held only this component: the joint cell takes its
+			// place directly.
+			parent.Children[slot] = &Node{Children: parts}
+		case group:
+			// A joint cell for the parts hangs where the component was
+			// attached.
+			n.Children = append(n.Children, &Node{Children: parts})
+		case len(n.Components) == 0 && len(n.Children) == 0 && parent != nil:
+			// The cell held only this component: the parts become sibling
+			// cells in its place.
+			parent.Children = append(parent.Children[:slot],
+				append(parts, parent.Children[slot+1:]...)...)
+		default:
+			// The cell holds other components (or is the root): attach the
+			// parts as its own child cells so each remains independently
+			// restartable.
+			n.Children = append(n.Children, parts...)
+		}
+		return true
+	}
+	for i, c := range n.Children {
+		if replaceComponentAt(n, i, c, component, into, group) {
+			return true
+		}
+	}
+	return false
+}
+
+// Consolidate (tree III → IV) merges the cells of the given components
+// into one shared cell, encoding that separate restarts are useless
+// (f_A + f_B ≪ f_{A,B}): whenever one is restarted, so is the other,
+// turning MTTR_A + MTTR_B into max(MTTR_A, MTTR_B).
+func Consolidate(t *Tree, name string, components []string) (*Tree, error) {
+	if len(components) < 2 {
+		return nil, fmt.Errorf("core: consolidation needs at least two components")
+	}
+	uniq := make(map[string]bool, len(components))
+	for _, c := range components {
+		if uniq[c] {
+			return nil, fmt.Errorf("core: duplicate component %q in consolidation", c)
+		}
+		uniq[c] = true
+		if _, err := t.CellOf(c); err != nil {
+			return nil, err
+		}
+	}
+	clone, err := t.Clone("tmp")
+	if err != nil {
+		return nil, err
+	}
+	merged := &Node{Components: append([]string(nil), components...)}
+	sort.Strings(merged.Components)
+
+	// Remove each component's old cell; insert the merged cell where the
+	// first one was.
+	root := clone.root
+	inserted := false
+	for _, comp := range components {
+		cell, err := clone.CellOf(comp)
+		if err != nil {
+			return nil, err
+		}
+		removeComponent(cell, comp)
+		if !inserted {
+			if cell.parent == nil {
+				root.Children = append(root.Children, merged)
+			} else {
+				cell.parent.Children = append(cell.parent.Children, merged)
+			}
+			inserted = true
+		}
+	}
+	pruned := prune(root)
+	if pruned == nil {
+		return nil, ErrEmptyTree
+	}
+	return NewTree(name, pruned)
+}
+
+// Promote (tree IV → V) moves a high-MTTR component up: its cell becomes
+// the parent of the given child cell, so every restart of the promoted
+// component also restarts the subtree below it. This wastes a cheap child
+// restart on every promoted-component failure, but removes the double
+// restart a guess-too-low oracle mistake would cost — tree V can only be
+// better than tree IV when the oracle is faulty.
+func Promote(t *Tree, name, component, overComponent string) (*Tree, error) {
+	if component == overComponent {
+		return nil, fmt.Errorf("core: cannot promote %q over itself", component)
+	}
+	if _, err := t.CellOf(component); err != nil {
+		return nil, err
+	}
+	if _, err := t.CellOf(overComponent); err != nil {
+		return nil, err
+	}
+	clone, err := t.Clone("tmp")
+	if err != nil {
+		return nil, err
+	}
+	promotedCell, err := clone.CellOf(component)
+	if err != nil {
+		return nil, err
+	}
+	removeComponent(promotedCell, component)
+	childCell, err := clone.CellOf(overComponent)
+	if err != nil {
+		return nil, err
+	}
+	// Walk up from the child cell to the nearest surviving ancestor and
+	// interpose the promoted component there: the new node holds the
+	// component and adopts the child's subtree.
+	parent := childCell.parent
+	newNode := &Node{Components: []string{component}, Children: []*Node{childCell}}
+	if parent == nil {
+		return nil, fmt.Errorf("core: cannot promote over the root cell")
+	}
+	for i, c := range parent.Children {
+		if c == childCell {
+			parent.Children[i] = newNode
+			break
+		}
+	}
+	pruned := prune(clone.root)
+	if pruned == nil {
+		return nil, ErrEmptyTree
+	}
+	return NewTree(name, pruned)
+}
+
+// removeComponent deletes a component from a cell's attachment list.
+func removeComponent(n *Node, component string) {
+	for i, c := range n.Components {
+		if c == component {
+			n.Components = append(n.Components[:i], n.Components[i+1:]...)
+			return
+		}
+	}
+}
+
+// prune removes empty leaf cells (no components, no children) and
+// collapses empty pass-through cells with a single child — including an
+// emptied root, whose only child then becomes the new root. Restart
+// semantics are preserved: a pass-through cell's button is identical to
+// its child's.
+func prune(n *Node) *Node {
+	kept := n.Children[:0]
+	for _, c := range n.Children {
+		if p := prune(c); p != nil {
+			kept = append(kept, p)
+		}
+	}
+	n.Children = kept
+	if len(n.Components) == 0 {
+		switch len(n.Children) {
+		case 0:
+			return nil
+		case 1:
+			return n.Children[0]
+		}
+	}
+	return n
+}
+
+// MercuryTrees builds the paper's five trees. Trees I and II use the
+// monolithic component set; II′ (returned as "IIp"), III, IV and V use the
+// split set.
+func MercuryTrees(monolithic, split []string) (map[string]*Tree, error) {
+	trees := make(map[string]*Tree, 6)
+
+	t1, err := TrivialTree("I", monolithic)
+	if err != nil {
+		return nil, fmt.Errorf("tree I: %w", err)
+	}
+	trees["I"] = t1
+
+	t2, err := DepthAugment(t1, "II")
+	if err != nil {
+		return nil, fmt.Errorf("tree II: %w", err)
+	}
+	trees["II"] = t2
+
+	t2p, err := SplitComponent(t2, "IIp", "fedrcom", []string{"fedr", "pbcom"})
+	if err != nil {
+		return nil, fmt.Errorf("tree II': %w", err)
+	}
+	trees["IIp"] = t2p
+
+	t3, err := GroupSplitComponent(t2, "III", "fedrcom", []string{"fedr", "pbcom"})
+	if err != nil {
+		return nil, fmt.Errorf("tree III: %w", err)
+	}
+	trees["III"] = t3
+
+	t4, err := Consolidate(t3, "IV", []string{"ses", "str"})
+	if err != nil {
+		return nil, fmt.Errorf("tree IV: %w", err)
+	}
+	trees["IV"] = t4
+
+	t5, err := Promote(t4, "V", "pbcom", "fedr")
+	if err != nil {
+		return nil, fmt.Errorf("tree V: %w", err)
+	}
+	trees["V"] = t5
+
+	_ = split // the split component list is implied by the transformations
+	return trees, nil
+}

@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	mercury "github.com/recursive-restart/mercury"
+	"github.com/recursive-restart/mercury/internal/fault"
+	"github.com/recursive-restart/mercury/internal/metrics"
+)
+
+// This file reproduces the paper's §8 secondary claim: "in the past,
+// relying on operators to notice failures was adding minutes or hours to
+// the recovery time". The manual baseline models pre-RR Mercury: no FD, no
+// REC — a human operator eventually notices the silent station and reboots
+// the whole thing (the only procedure tree I admits).
+
+// OperatorNotice is the paper's "minutes or hours": how long until a human
+// notices the failure. The default draws from 2–45 minutes; failures
+// during unattended hours sit at the long end.
+var OperatorNotice = fault.Uniform{Lo: 2 * time.Minute, Hi: 45 * time.Minute}
+
+// ManualResult compares operator-driven recovery with automated RR.
+type ManualResult struct {
+	Trials         int
+	ManualRecovery metrics.Sample
+	AutoRecovery   metrics.Sample
+	ManualAvail    float64 // availability at the Table 1 fedrcom rate
+	AutoAvail      float64
+}
+
+// ManualVsAuto measures recovery of the most frequent failure (the front
+// end) under the pre-RR manual procedure versus the automated tree-IV
+// station, and derives the availability each implies at fedrcom's
+// 10-minute... (Table 1) failure rate — using the post-split fedr rate for
+// the automated system.
+func ManualVsAuto(trials int, baseSeed int64) (*ManualResult, error) {
+	res := &ManualResult{Trials: trials}
+	for i := 0; i < trials; i++ {
+		seed := baseSeed + int64(i)*6151
+
+		// Manual: no FD/REC; the operator notices after OperatorNotice and
+		// performs the only pre-RR procedure — a whole-system restart.
+		sys, err := mercury.NewSystem(mercury.Config{
+			Seed: seed, TreeName: "I", DisableRecovery: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Boot(); err != nil {
+			return nil, err
+		}
+		start := sys.Now()
+		if err := sys.Inject(mercury.Fault{Component: "fedrcom"}); err != nil {
+			return nil, err
+		}
+		notice := OperatorNotice.Sample(sys.Kernel.Rand())
+		if err := sys.Kernel.RunUntil(start.Add(notice)); err != nil {
+			return nil, err
+		}
+		if err := sys.Mgr.Restart(sys.Components()); err != nil {
+			return nil, err
+		}
+		deadline := sys.Now().Add(3 * time.Minute)
+		for !sys.Mgr.AllServing(sys.Components()...) {
+			if sys.Now().After(deadline) {
+				return nil, fmt.Errorf("experiment: manual reboot did not complete")
+			}
+			if !sys.Kernel.Step() {
+				return nil, fmt.Errorf("experiment: simulation idle during manual reboot")
+			}
+		}
+		// The board still lists the fault (cured by the full restart's
+		// batch hook); recovery spans failure → all serving.
+		manual := sys.Now().Sub(start)
+		res.ManualRecovery.Add(manual)
+
+		// Automated: tree IV, escalating oracle, fedr failure.
+		auto, err := RunCell(Cell{
+			Tree: "IV", Policy: mercury.PolicyEscalating, Component: "fedr",
+		}, 1, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.AutoRecovery.Add(auto.Mean())
+	}
+
+	res.ManualAvail = metrics.Availability(PaperMTTF["fedrcom"], res.ManualRecovery.Mean())
+	res.AutoAvail = metrics.Availability(SplitMTTF["fedr"], res.AutoRecovery.Mean())
+	return res, nil
+}
+
+// RenderManual formats the comparison.
+func RenderManual(r *ManualResult) string {
+	return fmt.Sprintf(
+		"§8 — automated recovery vs. the pre-RR manual procedure (%d trials)\n"+
+			"  manual (operator notices, whole-system reboot): mean %7.1f s → availability %.4f\n"+
+			"  automated (FD + REC, tree IV):                  mean %7.1f s → availability %.4f\n"+
+			"  the operator adds minutes; automation holds recovery to seconds\n",
+		r.Trials,
+		r.ManualRecovery.MeanSeconds(), r.ManualAvail,
+		r.AutoRecovery.MeanSeconds(), r.AutoAvail)
+}

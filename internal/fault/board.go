@@ -1,0 +1,280 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/clock"
+	"github.com/recursive-restart/mercury/internal/proc"
+	"github.com/recursive-restart/mercury/internal/trace"
+)
+
+// Fault is one injectable failure.
+type Fault struct {
+	// ID labels the fault in traces; the board assigns one if empty.
+	ID string
+	// Manifest is the component where the failure manifests: it becomes
+	// fail-silent (A_cure: all failures are detectable and curable).
+	Manifest string
+	// Cure is the minimal set of components that must be restarted
+	// together to cure the fault. Nil means {Manifest}.
+	Cure []string
+	// Hard marks a failure no restart can cure, used to exercise the
+	// restart policy's give-up budget.
+	Hard bool
+	// Hang delivers the failure as a hang (the process stays up but stops
+	// responding — a spin/livelock/deadlock) instead of a crash. Both are
+	// fail-silent to the detector; both are curable by restart.
+	Hang bool
+}
+
+// cureSet normalises the cure set.
+func (f Fault) cureSet() map[string]bool {
+	set := make(map[string]bool, len(f.Cure)+1)
+	if len(f.Cure) == 0 {
+		set[f.Manifest] = true
+		return set
+	}
+	for _, c := range f.Cure {
+		set[c] = true
+	}
+	return set
+}
+
+// CureList returns the normalised cure set, sorted.
+func (f Fault) CureList() []string {
+	set := f.cureSet()
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Board tracks active faults and applies the cure semantics. It watches
+// the manager's restart batches: a batch whose component set covers a
+// fault's cure set cures it; a batch that restarts the manifesting
+// component without covering the cure set brings the component up still
+// broken — the board silences it as soon as it reports ready, so the
+// failure persists observably.
+type Board struct {
+	clk clock.Clock
+	mgr *proc.Manager
+	log *trace.Log
+
+	seq    int
+	active map[string]*Fault // by ID
+
+	// counters
+	injected int
+	cured    int
+}
+
+// NewBoard creates a board and hooks it into the manager's batch and ready
+// notifications. Create the board before the recoverer so its listeners
+// run first.
+func NewBoard(clk clock.Clock, mgr *proc.Manager, log *trace.Log) *Board {
+	b := &Board{
+		clk:    clk,
+		mgr:    mgr,
+		log:    log,
+		active: make(map[string]*Fault),
+	}
+	mgr.OnBatch(b.onBatch)
+	mgr.OnReady(b.onReady)
+	return b
+}
+
+// Inject activates a fault: the manifesting component is killed now
+// (fail-silent) and the fault stays active until a restart action covers
+// its cure set.
+func (b *Board) Inject(f Fault) error {
+	if f.Manifest == "" {
+		return fmt.Errorf("fault: fault with no manifest component")
+	}
+	if f.ID == "" {
+		b.seq++
+		f.ID = fmt.Sprintf("f%d", b.seq)
+	}
+	if _, dup := b.active[f.ID]; dup {
+		return fmt.Errorf("fault: duplicate fault id %q", f.ID)
+	}
+	fc := f
+	b.active[f.ID] = &fc
+	b.injected++
+	mode := "crash"
+	if f.Hang {
+		mode = "hang"
+	}
+	b.log.Add(b.clk.Now(), trace.FaultInjected, f.Manifest, "",
+		fmt.Sprintf("id=%s mode=%s cure=[%s] hard=%v", f.ID, mode, strings.Join(f.CureList(), " "), f.Hard))
+	if f.Hang {
+		return b.mgr.Silence(f.Manifest)
+	}
+	return b.mgr.Kill(f.Manifest, "fault "+f.ID)
+}
+
+// onBatch applies cure semantics when a restart action begins.
+func (b *Board) onBatch(names []string) {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	for id, f := range b.active {
+		if f.Hard {
+			continue
+		}
+		covered := true
+		for c := range f.cureSet() {
+			if !set[c] {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			delete(b.active, id)
+			b.cured++
+			b.log.Add(b.clk.Now(), trace.FaultCured, f.Manifest, "", "id="+id)
+		}
+	}
+}
+
+// onReady re-manifests uncured faults: a component that comes up while a
+// fault manifesting in it is still active is immediately silenced.
+func (b *Board) onReady(name string) {
+	for _, f := range b.active {
+		if f.Manifest == name {
+			_ = b.mgr.Silence(name)
+			return
+		}
+	}
+}
+
+// ActiveCount reports the number of uncured faults.
+func (b *Board) ActiveCount() int { return len(b.active) }
+
+// Injected reports the total number of injected faults.
+func (b *Board) Injected() int { return b.injected }
+
+// Cured reports the total number of cured faults.
+func (b *Board) Cured() int { return b.cured }
+
+// MinimalCure returns the cure set of the active fault manifesting at the
+// component, if any. The perfect oracle consults this — the experimental
+// device the paper uses in §4.4.
+func (b *Board) MinimalCure(component string) ([]string, bool) {
+	for _, f := range b.active {
+		if f.Manifest == component {
+			return f.CureList(), true
+		}
+	}
+	return nil, false
+}
+
+// ActiveFaults returns the IDs of active faults, sorted.
+func (b *Board) ActiveFaults() []string {
+	out := make([]string, 0, len(b.active))
+	for id := range b.active {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clear drops all active faults without curing them (between experiment
+// trials).
+func (b *Board) Clear() {
+	b.active = make(map[string]*Fault)
+}
+
+// Injector drives organic failures: for each component with a configured
+// law, it samples a time-to-failure each time the component becomes ready
+// and injects a fault when it elapses. It also records the achieved
+// time-to-failure samples, from which Table 1's MTTFs are measured.
+type Injector struct {
+	clk   clock.Clock
+	mgr   *proc.Manager
+	board *Board
+
+	laws map[string]Law
+	// CureFor, if set, decides the cure set of organically injected faults;
+	// nil means each fault is cured by restarting the component alone.
+	CureFor func(component string) []string
+
+	enabled bool
+	ttf     map[string][]time.Duration
+}
+
+// NewInjector builds an injector over the board. Call Enable to arm it.
+func NewInjector(clk clock.Clock, mgr *proc.Manager, board *Board) *Injector {
+	inj := &Injector{
+		clk:   clk,
+		mgr:   mgr,
+		board: board,
+		laws:  make(map[string]Law),
+		ttf:   make(map[string][]time.Duration),
+	}
+	mgr.OnReady(inj.onReady)
+	return inj
+}
+
+// SetLaw configures the failure law for a component.
+func (inj *Injector) SetLaw(component string, law Law) {
+	inj.laws[component] = law
+}
+
+// Enable arms the injector; components already running get their first
+// failure scheduled on their next ready transition.
+func (inj *Injector) Enable() { inj.enabled = true }
+
+// Disable stops scheduling new failures; already-scheduled ones are
+// suppressed at fire time.
+func (inj *Injector) Disable() { inj.enabled = false }
+
+// onReady schedules the next organic failure for the component.
+func (inj *Injector) onReady(name string) {
+	if !inj.enabled {
+		return
+	}
+	law, ok := inj.laws[name]
+	if !ok {
+		return
+	}
+	gen, err := inj.mgr.Incarnation(name)
+	if err != nil {
+		return
+	}
+	ttf := law.Sample(inj.mgr.Rand())
+	inj.clk.AfterFunc(ttf, func() {
+		if !inj.enabled {
+			return
+		}
+		// Only fire if this incarnation is still the serving one.
+		g, err := inj.mgr.Incarnation(name)
+		if err != nil || g != gen || !inj.mgr.Serving(name) {
+			return
+		}
+		inj.ttf[name] = append(inj.ttf[name], ttf)
+		var cure []string
+		if inj.CureFor != nil {
+			cure = inj.CureFor(name)
+		}
+		_ = inj.board.Inject(Fault{Manifest: name, Cure: cure})
+	})
+}
+
+// Prime schedules the first organic failure for a component that is
+// already serving — the OnReady hook only catches future ready
+// transitions, so callers enabling the injector mid-run prime each
+// component once.
+func (inj *Injector) Prime(component string) { inj.onReady(component) }
+
+// TTFSamples returns the achieved time-to-failure samples for a component.
+func (inj *Injector) TTFSamples(component string) []time.Duration {
+	out := make([]time.Duration, len(inj.ttf[component]))
+	copy(out, inj.ttf[component])
+	return out
+}

@@ -1,0 +1,223 @@
+// Package mp is the multi-process runtime: every station component runs in
+// its own OS process, connected over the real TCP bus, exactly like
+// Mercury's per-JVM deployment. The supervisor process hosts the bus
+// broker, the failure detector and the recoverer; pushing a restart-cell
+// button really SIGKILLs child processes and spawns fresh ones.
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/bus"
+	"github.com/recursive-restart/mercury/internal/proc"
+	"github.com/recursive-restart/mercury/internal/rt"
+	"github.com/recursive-restart/mercury/internal/station"
+	"github.com/recursive-restart/mercury/internal/trace"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// Environment variables carrying a child's spec (set by the supervisor's
+// default spawner; read by SpecFromEnv in the child's main).
+const (
+	EnvComponent   = "MERCURY_MP_COMPONENT"
+	EnvBusAddr     = "MERCURY_MP_BUS"
+	EnvScale       = "MERCURY_MP_SCALE"
+	EnvStretch     = "MERCURY_MP_STRETCH"
+	EnvSeed        = "MERCURY_MP_SEED"
+	EnvLayout      = "MERCURY_MP_LAYOUT"
+	EnvIncarnation = "MERCURY_MP_INCARNATION"
+)
+
+// ChildConfig parameterises one component process.
+type ChildConfig struct {
+	Component   string
+	BusAddr     string
+	Scale       float64
+	Stretch     float64
+	Seed        int64
+	Layout      string // "split" or "monolithic"
+	Incarnation int
+}
+
+// Env renders the spec as environment variable assignments.
+func (c ChildConfig) Env() []string {
+	return []string{
+		EnvComponent + "=" + c.Component,
+		EnvBusAddr + "=" + c.BusAddr,
+		EnvScale + "=" + strconv.FormatFloat(c.Scale, 'g', -1, 64),
+		EnvStretch + "=" + strconv.FormatFloat(c.Stretch, 'g', -1, 64),
+		EnvSeed + "=" + strconv.FormatInt(c.Seed, 10),
+		EnvLayout + "=" + c.Layout,
+		EnvIncarnation + "=" + strconv.Itoa(c.Incarnation),
+	}
+}
+
+// SpecFromEnv reads a child spec from the environment; ok is false when
+// this process is not a component child. Call it first thing in main (or
+// TestMain) and hand control to RunChild when ok.
+func SpecFromEnv() (ChildConfig, bool) {
+	comp := os.Getenv(EnvComponent)
+	if comp == "" {
+		return ChildConfig{}, false
+	}
+	scale, _ := strconv.ParseFloat(os.Getenv(EnvScale), 64)
+	stretch, _ := strconv.ParseFloat(os.Getenv(EnvStretch), 64)
+	seed, _ := strconv.ParseInt(os.Getenv(EnvSeed), 10, 64)
+	inc, _ := strconv.Atoi(os.Getenv(EnvIncarnation))
+	return ChildConfig{
+		Component:   comp,
+		BusAddr:     os.Getenv(EnvBusAddr),
+		Scale:       scale,
+		Stretch:     stretch,
+		Seed:        seed,
+		Layout:      os.Getenv(EnvLayout),
+		Incarnation: inc,
+	}, true
+}
+
+// readyPrefix is the stdout line a child prints once its component is
+// functionally ready; the supervisor scans for it.
+const readyPrefix = "MERCURY-READY"
+
+// hangCommand is the bus command the supervisor sends to make a child
+// unresponsive (injected hang faults).
+const hangCommand = "sys-hang"
+
+// clientTransport adapts a TCP bus client to proc.Transport.
+type clientTransport struct {
+	c *bus.TCPClient
+}
+
+func (t clientTransport) Send(m *xmlcmd.Message) { t.c.Send(m) }
+
+// hangable wraps a component handler so the supervisor can inject hangs:
+// once hung, the component silently drops everything — alive at the OS
+// level, dead at the application level.
+type hangable struct {
+	inner proc.Handler
+	hung  bool
+}
+
+func (h *hangable) Start(ctx proc.Context) { h.inner.Start(ctx) }
+
+func (h *hangable) Receive(ctx proc.Context, m *xmlcmd.Message) {
+	if m.Kind() == xmlcmd.KindCommand && m.Command.Name == hangCommand {
+		h.hung = true
+		return
+	}
+	if h.hung {
+		return
+	}
+	h.inner.Receive(ctx, m)
+}
+
+// handlerFor maps a component name to its station handler factory.
+func handlerFor(component, layout string, p station.Params) (func() proc.Handler, error) {
+	switch component {
+	case station.SES:
+		return station.NewSES(p), nil
+	case station.STR:
+		return station.NewSTR(p), nil
+	case station.RTU:
+		front := station.Fedr
+		if layout == "monolithic" {
+			front = station.Fedrcom
+		}
+		return station.NewRTU(p, front), nil
+	case station.Fedr:
+		return station.NewFedr(p), nil
+	case station.Pbcom:
+		return station.NewPbcom(p), nil
+	case station.Fedrcom:
+		return station.NewFedrcom(p), nil
+	default:
+		return nil, fmt.Errorf("mp: no child handler for component %q", component)
+	}
+}
+
+// RunChild hosts one station component in this OS process. It connects to
+// the bus (retrying while the broker boots), starts the component with the
+// supervisor-assigned contention stretch, announces readiness on stdout,
+// and returns when the component dies — the process is the component, as
+// with Mercury's JVMs, so local death means process exit.
+func RunChild(cfg ChildConfig) error {
+	if cfg.Component == "" || cfg.BusAddr == "" {
+		return errors.New("mp: child needs a component and a bus address")
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.Stretch < 1 {
+		cfg.Stretch = 1
+	}
+
+	disp := rt.NewDispatcher()
+	defer disp.Stop()
+	clk := rt.Clock{D: disp, Scale: cfg.Scale}
+	log := trace.NewLog()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mgr := proc.NewManager(clk, rng, log)
+
+	params := station.DefaultParams(time.Now())
+	factory, err := handlerFor(cfg.Component, cfg.Layout, params)
+	if err != nil {
+		return err
+	}
+
+	// Connect to the broker, retrying while it is still starting.
+	var client *bus.TCPClient
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		client, err = bus.DialBus(cfg.BusAddr, cfg.Component, func(m *xmlcmd.Message) {
+			disp.Post(func() { mgr.Deliver(m) })
+		})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("mp: bus never came up: %w", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	defer client.Close()
+	mgr.SetTransport(clientTransport{c: client})
+
+	if err := mgr.Register(cfg.Component, func() proc.Handler {
+		return &hangable{inner: factory()}
+	}); err != nil {
+		return err
+	}
+
+	died := make(chan string, 1)
+	mgr.OnReady(func(name string) {
+		fmt.Printf("%s %s %d\n", readyPrefix, name, cfg.Incarnation)
+	})
+	mgr.OnDown(func(name, reason string) {
+		select {
+		case died <- reason:
+		default:
+		}
+	})
+
+	var startErr error
+	disp.Call(func() { startErr = mgr.StartStretched(cfg.Component, cfg.Stretch) })
+	if startErr != nil {
+		return startErr
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case reason := <-died:
+		return fmt.Errorf("mp: component %s died: %s", cfg.Component, reason)
+	case <-sig:
+		return nil
+	}
+}

@@ -1,0 +1,505 @@
+// Package proc manages the lifecycle of Mercury's software components.
+//
+// The paper's components are independently operating JVM processes with
+// autonomous loci of control; here each is a Handler hosted by a Manager.
+// The Manager provides the strong fault-isolation the paper relies on:
+// components can be SIGKILL-ed (hard, fail-silent), silenced (alive but
+// unresponsive), and restarted with completely fresh state. Restarting a
+// batch of components concurrently applies a resource-contention stretch to
+// their startup times — the effect the paper observes when a whole-system
+// restart is slower than the slowest individual component restart.
+//
+// The Manager is not internally synchronised: all calls must come from a
+// single logical dispatch context. Under simulation this is the event
+// kernel; under the real-time runtime it is the dispatcher goroutine.
+package proc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/clock"
+	"github.com/recursive-restart/mercury/internal/trace"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// State is a component process state.
+type State int
+
+// Process states.
+const (
+	// Stopped means never started or gracefully stopped.
+	Stopped State = iota + 1
+	// Starting means the startup sequence is running; the component may
+	// exchange protocol messages (e.g. ses/str resync) but is not ready.
+	Starting
+	// Running means the component logged "functionally ready".
+	Running
+	// Dead means killed or crashed: fail-silent, consuming nothing.
+	Dead
+)
+
+var stateNames = map[State]string{
+	Stopped:  "stopped",
+	Starting: "starting",
+	Running:  "running",
+	Dead:     "dead",
+}
+
+// String names the state.
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Errors returned by Manager operations.
+var (
+	ErrUnknownProcess = errors.New("proc: unknown process")
+	ErrAlreadyExists  = errors.New("proc: process already registered")
+	ErrNotRunnable    = errors.New("proc: process already starting or running")
+)
+
+// Handler is a component implementation. A fresh Handler is created for
+// every incarnation, so restart unequivocally returns the component to its
+// start state — restart property (a) in the paper.
+type Handler interface {
+	// Start begins the startup sequence. The handler must eventually call
+	// ctx.Ready() unless it is killed or fails first.
+	Start(ctx Context)
+	// Receive handles a message delivered from the bus. It is called only
+	// while the process is Starting or Running.
+	Receive(ctx Context, m *xmlcmd.Message)
+}
+
+// Transport sends a message into the message fabric. It is implemented by
+// internal/bus; proc stays transport-agnostic.
+type Transport interface {
+	Send(m *xmlcmd.Message)
+}
+
+// Context is the capability set handed to a Handler. It is scoped to one
+// incarnation: after the process is killed or restarted, calls on an old
+// context become no-ops, which models the OS discarding a killed process's
+// pending work.
+type Context interface {
+	// Name is the process's bus address.
+	Name() string
+	// Incarnation is the restart generation, starting at 1.
+	Incarnation() int
+	// Now returns the current time.
+	Now() time.Time
+	// After schedules fn on the dispatch context after d; fn is dropped if
+	// this incarnation has ended by then.
+	After(d time.Duration, fn func()) clock.Timer
+	// Rand is the deterministic random source.
+	Rand() *rand.Rand
+	// Send emits a message via the bus.
+	Send(m *xmlcmd.Message)
+	// Ready declares the component functionally ready and logs the
+	// timestamped ready message recovery time is measured against.
+	Ready()
+	// Fail crashes the component (fail-silent) with the given reason.
+	Fail(reason string)
+	// Stretch is the resource-contention multiplier (>= 1) in effect for
+	// this startup; components multiply their base startup time by it.
+	Stretch() float64
+	// Log is the shared trace log for Note-level annotations.
+	Log() *trace.Log
+}
+
+// Process is one managed component.
+type Process struct {
+	name        string
+	factory     func() Handler
+	mgr         *Manager
+	state       State
+	gen         int
+	handler     Handler
+	silenced    bool
+	stretch     float64
+	startedAt   time.Time
+	readyAt     time.Time
+	downAt      time.Time
+	restarts    int
+	downtime    time.Duration // accumulated while not serving
+	lastDownAt  time.Time
+	everStarted bool
+}
+
+// Manager hosts and controls a set of processes.
+type Manager struct {
+	clk       clock.Clock
+	rng       *rand.Rand
+	log       *trace.Log
+	transport Transport
+
+	procs map[string]*Process
+	order []string
+
+	// ContentionPerPeer is the per-extra-component startup stretch: a batch
+	// of k components starts with multiplier 1 + ContentionPerPeer*(k-1).
+	// Calibrated so a 5-component whole-system restart shows the paper's
+	// tree-I slowdown.
+	ContentionPerPeer float64
+
+	onReady []func(name string)
+	onDown  []func(name, reason string)
+	onBatch []func(names []string)
+}
+
+// NewManager returns an empty manager.
+func NewManager(clk clock.Clock, rng *rand.Rand, log *trace.Log) *Manager {
+	return &Manager{
+		clk:               clk,
+		rng:               rng,
+		log:               log,
+		procs:             make(map[string]*Process),
+		ContentionPerPeer: 0.048,
+	}
+}
+
+// SetTransport wires the bus in after construction (the bus needs the
+// manager to deliver, so the two are created in sequence).
+func (m *Manager) SetTransport(t Transport) { m.transport = t }
+
+// Clock returns the manager's clock.
+func (m *Manager) Clock() clock.Clock { return m.clk }
+
+// Rand returns the deterministic random source.
+func (m *Manager) Rand() *rand.Rand { return m.rng }
+
+// Log returns the shared trace log.
+func (m *Manager) Log() *trace.Log { return m.log }
+
+// Register adds a process under the given bus address. The factory is
+// invoked once per incarnation.
+func (m *Manager) Register(name string, factory func() Handler) error {
+	if _, ok := m.procs[name]; ok {
+		return fmt.Errorf("%w: %s", ErrAlreadyExists, name)
+	}
+	m.procs[name] = &Process{
+		name:    name,
+		factory: factory,
+		mgr:     m,
+		state:   Stopped,
+	}
+	m.order = append(m.order, name)
+	return nil
+}
+
+// Names returns registered process names in registration order.
+func (m *Manager) Names() []string {
+	out := make([]string, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// OnReady registers fn to run whenever a process becomes Running.
+// Listeners run synchronously in registration order.
+func (m *Manager) OnReady(fn func(name string)) { m.onReady = append(m.onReady, fn) }
+
+// OnDown registers fn to run whenever a process dies (kill or crash).
+func (m *Manager) OnDown(fn func(name, reason string)) { m.onDown = append(m.onDown, fn) }
+
+// OnBatch registers fn to run at the start of every restart batch with the
+// set of component names being restarted together. The fault board uses
+// this to decide whether a restart action covers a fault's minimal cure.
+func (m *Manager) OnBatch(fn func(names []string)) { m.onBatch = append(m.onBatch, fn) }
+
+func (m *Manager) proc(name string) (*Process, error) {
+	p, ok := m.procs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownProcess, name)
+	}
+	return p, nil
+}
+
+// Start launches a single process with no contention.
+func (m *Manager) Start(name string) error {
+	return m.StartBatch([]string{name})
+}
+
+// StartStretched launches a single process with an explicit contention
+// stretch. It is used when the contention arises outside this manager —
+// e.g. a multi-process batch restart where each child process hosts a
+// one-component manager but shares the machine with its siblings.
+func (m *Manager) StartStretched(name string, stretch float64) error {
+	if stretch < 1 {
+		stretch = 1
+	}
+	return m.startAll([]string{name}, stretch)
+}
+
+// StartBatch launches the named processes concurrently, applying the
+// resource-contention stretch to each startup.
+func (m *Manager) StartBatch(names []string) error {
+	stretch := 1.0
+	if len(names) > 1 {
+		stretch = 1 + m.ContentionPerPeer*float64(len(names)-1)
+	}
+	return m.startAll(names, stretch)
+}
+
+// startAll validates and launches processes at the given stretch.
+func (m *Manager) startAll(names []string, stretch float64) error {
+	// Validate first so a batch is all-or-nothing.
+	procs := make([]*Process, 0, len(names))
+	for _, name := range names {
+		p, err := m.proc(name)
+		if err != nil {
+			return err
+		}
+		if p.state == Starting || p.state == Running {
+			return fmt.Errorf("%w: %s is %s", ErrNotRunnable, name, p.state)
+		}
+		procs = append(procs, p)
+	}
+	for _, fn := range m.onBatch {
+		fn(append([]string(nil), names...))
+	}
+	for _, p := range procs {
+		p.start(stretch)
+	}
+	return nil
+}
+
+// Restart hard-kills then relaunches the named processes as one action.
+// Already-dead members are simply relaunched. This is the "push the restart
+// cell's button" primitive the recoverer uses.
+func (m *Manager) Restart(names []string) error {
+	// Validate everything up front.
+	for _, name := range names {
+		if _, err := m.proc(name); err != nil {
+			return err
+		}
+	}
+	for _, name := range names {
+		p := m.procs[name]
+		if p.state == Starting || p.state == Running {
+			p.die(trace.ComponentKilled, "restart action")
+		}
+	}
+	return m.StartBatch(names)
+}
+
+// Kill delivers a SIGKILL-equivalent: the process becomes fail-silent
+// immediately. Killing a Stopped or Dead process is a no-op.
+func (m *Manager) Kill(name, reason string) error {
+	p, err := m.proc(name)
+	if err != nil {
+		return err
+	}
+	if p.state == Starting || p.state == Running {
+		p.die(trace.ComponentDown, reason)
+	}
+	return nil
+}
+
+// Silence makes a running process fail-silent without terminating it: it
+// stops receiving and replying but still counts as Running internally. The
+// fault board uses this to model failures that a restart did not cure.
+func (m *Manager) Silence(name string) error {
+	p, err := m.proc(name)
+	if err != nil {
+		return err
+	}
+	if !p.silenced && (p.state == Running || p.state == Starting) {
+		p.silenced = true
+		p.markDown()
+		m.log.Add(m.clk.Now(), trace.ComponentDown, name, "", "silenced (failure persists)")
+		for _, fn := range m.onDown {
+			fn(name, "silenced")
+		}
+	}
+	return nil
+}
+
+// State reports a process's state.
+func (m *Manager) State(name string) (State, error) {
+	p, err := m.proc(name)
+	if err != nil {
+		return 0, err
+	}
+	return p.state, nil
+}
+
+// Incarnation reports a process's restart generation.
+func (m *Manager) Incarnation(name string) (int, error) {
+	p, err := m.proc(name)
+	if err != nil {
+		return 0, err
+	}
+	return p.gen, nil
+}
+
+// Serving reports whether the process is Running and responsive.
+func (m *Manager) Serving(name string) bool {
+	p, ok := m.procs[name]
+	return ok && p.state == Running && !p.silenced
+}
+
+// Accepting reports whether the process can receive messages (Starting or
+// Running, not silenced). Components exchange startup-protocol messages
+// before they are ready, so this is broader than Serving.
+func (m *Manager) Accepting(name string) bool {
+	p, ok := m.procs[name]
+	return ok && (p.state == Running || p.state == Starting) && !p.silenced
+}
+
+// AllServing reports whether every process whose name is in names is
+// serving. With no names it checks every registered process.
+func (m *Manager) AllServing(names ...string) bool {
+	if len(names) == 0 {
+		names = m.order
+	}
+	for _, name := range names {
+		if !m.Serving(name) {
+			return false
+		}
+	}
+	return true
+}
+
+// Deliver routes a message to its destination handler. It reports whether
+// the message was consumed; dead or silenced destinations silently drop it
+// (fail-silent semantics).
+func (m *Manager) Deliver(msg *xmlcmd.Message) bool {
+	p, ok := m.procs[msg.To]
+	if !ok || !m.Accepting(msg.To) {
+		return false
+	}
+	gen := p.gen
+	h := p.handler
+	h.Receive(&procCtx{p: p, gen: gen}, msg)
+	return true
+}
+
+// Restarts reports how many times the process has been (re)started beyond
+// its first launch.
+func (m *Manager) Restarts(name string) (int, error) {
+	p, err := m.proc(name)
+	if err != nil {
+		return 0, err
+	}
+	return p.restarts, nil
+}
+
+// Downtime reports the cumulative time the process has spent not serving
+// since its first launch (including time spent silenced or restarting).
+func (m *Manager) Downtime(name string) (time.Duration, error) {
+	p, err := m.proc(name)
+	if err != nil {
+		return 0, err
+	}
+	d := p.downtime
+	if p.everStarted && !m.Serving(name) {
+		d += m.clk.Now().Sub(p.lastDownAt)
+	}
+	return d, nil
+}
+
+// start launches a fresh incarnation.
+func (p *Process) start(stretch float64) {
+	p.gen++
+	if p.everStarted {
+		p.restarts++
+	}
+	p.state = Starting
+	p.silenced = false
+	p.stretch = stretch
+	p.startedAt = p.mgr.clk.Now()
+	p.handler = p.factory()
+	p.mgr.log.Add(p.startedAt, trace.ComponentStarting, p.name, "",
+		fmt.Sprintf("incarnation=%d stretch=%.3f", p.gen, stretch))
+	gen := p.gen
+	p.handler.Start(&procCtx{p: p, gen: gen})
+}
+
+// die terminates the current incarnation. OnDown listeners fire for every
+// death — failures and restart-action teardowns alike — so supervisors of
+// external resources (a real TCP listener, a child OS process) always get
+// to release them; the reason string distinguishes the cases.
+func (p *Process) die(kind trace.Kind, reason string) {
+	p.markDown()
+	p.state = Dead
+	p.handler = nil
+	p.downAt = p.mgr.clk.Now()
+	p.mgr.log.Add(p.downAt, kind, p.name, "", reason)
+	for _, fn := range p.mgr.onDown {
+		fn(p.name, reason)
+	}
+}
+
+// markDown starts the downtime clock if the process was serving.
+func (p *Process) markDown() {
+	if p.everStarted && p.state == Running && !p.silenced {
+		p.lastDownAt = p.mgr.clk.Now()
+	}
+}
+
+// procCtx is the incarnation-scoped Context implementation.
+type procCtx struct {
+	p   *Process
+	gen int
+}
+
+var _ Context = (*procCtx)(nil)
+
+func (c *procCtx) valid() bool {
+	return c.p.gen == c.gen && (c.p.state == Starting || c.p.state == Running)
+}
+
+func (c *procCtx) Name() string     { return c.p.name }
+func (c *procCtx) Incarnation() int { return c.gen }
+func (c *procCtx) Now() time.Time   { return c.p.mgr.clk.Now() }
+func (c *procCtx) Rand() *rand.Rand { return c.p.mgr.rng }
+func (c *procCtx) Stretch() float64 { return c.p.stretch }
+func (c *procCtx) Log() *trace.Log  { return c.p.mgr.log }
+
+func (c *procCtx) After(d time.Duration, fn func()) clock.Timer {
+	return c.p.mgr.clk.AfterFunc(d, func() {
+		if c.valid() {
+			fn()
+		}
+	})
+}
+
+func (c *procCtx) Send(m *xmlcmd.Message) {
+	if !c.valid() || c.p.silenced {
+		return
+	}
+	if c.p.mgr.transport == nil {
+		return
+	}
+	c.p.mgr.transport.Send(m)
+}
+
+func (c *procCtx) Ready() {
+	if !c.valid() || c.p.state == Running {
+		return
+	}
+	p := c.p
+	p.state = Running
+	now := p.mgr.clk.Now()
+	p.readyAt = now
+	if p.everStarted && !p.lastDownAt.IsZero() {
+		p.downtime += now.Sub(p.lastDownAt)
+	}
+	p.everStarted = true
+	p.mgr.log.Add(now, trace.ComponentReady, p.name, "",
+		fmt.Sprintf("incarnation=%d startup=%.2fs", p.gen, now.Sub(p.startedAt).Seconds()))
+	for _, fn := range p.mgr.onReady {
+		fn(p.name)
+	}
+}
+
+func (c *procCtx) Fail(reason string) {
+	if !c.valid() {
+		return
+	}
+	c.p.die(trace.ComponentDown, reason)
+}

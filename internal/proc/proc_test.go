@@ -1,0 +1,411 @@
+package proc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/clock"
+	"github.com/recursive-restart/mercury/internal/sim"
+	"github.com/recursive-restart/mercury/internal/trace"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// testComp is a minimal handler: ready after startup*stretch, replies pong
+// to pings once ready, records received messages.
+type testComp struct {
+	startup  time.Duration
+	received []*xmlcmd.Message
+	ready    bool
+	startGen int
+}
+
+func (tc *testComp) Start(ctx Context) {
+	tc.startGen = ctx.Incarnation()
+	d := time.Duration(float64(tc.startup) * ctx.Stretch())
+	ctx.After(d, func() {
+		tc.ready = true
+		ctx.Ready()
+	})
+}
+
+func (tc *testComp) Receive(ctx Context, m *xmlcmd.Message) {
+	tc.received = append(tc.received, m)
+	if m.Kind() == xmlcmd.KindPing && tc.ready {
+		ctx.Send(xmlcmd.NewPong(ctx.Name(), m, ctx.Incarnation()))
+	}
+}
+
+// directTransport delivers straight back into the manager.
+type directTransport struct{ mgr *Manager }
+
+func (d directTransport) Send(m *xmlcmd.Message) { d.mgr.Deliver(m) }
+
+func newTestManager(t *testing.T) (*Manager, *sim.Kernel) {
+	t.Helper()
+	k := sim.New(11)
+	mgr := NewManager(clock.Sim{K: k}, rand.New(rand.NewSource(1)), trace.NewLog())
+	mgr.SetTransport(directTransport{mgr: mgr})
+	return mgr, k
+}
+
+func TestStartAndReady(t *testing.T) {
+	mgr, k := newTestManager(t)
+	tc := &testComp{startup: 3 * time.Second}
+	if err := mgr.Register("a", func() Handler { return tc }); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := mgr.Start("a"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	st, _ := mgr.State("a")
+	if st != Starting {
+		t.Fatalf("state = %v, want Starting", st)
+	}
+	if err := k.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Serving("a") {
+		t.Fatal("serving before startup complete")
+	}
+	if err := k.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !mgr.Serving("a") {
+		t.Fatal("not serving after startup")
+	}
+	gen, _ := mgr.Incarnation("a")
+	if gen != 1 {
+		t.Fatalf("incarnation = %d, want 1", gen)
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	mgr, _ := newTestManager(t)
+	_ = mgr.Register("a", func() Handler { return &testComp{} })
+	if err := mgr.Register("a", func() Handler { return &testComp{} }); !errors.Is(err, ErrAlreadyExists) {
+		t.Fatalf("err = %v, want ErrAlreadyExists", err)
+	}
+}
+
+func TestUnknownProcessErrors(t *testing.T) {
+	mgr, _ := newTestManager(t)
+	if err := mgr.Start("ghost"); !errors.Is(err, ErrUnknownProcess) {
+		t.Fatalf("Start ghost = %v", err)
+	}
+	if err := mgr.Kill("ghost", ""); !errors.Is(err, ErrUnknownProcess) {
+		t.Fatalf("Kill ghost = %v", err)
+	}
+	if _, err := mgr.State("ghost"); !errors.Is(err, ErrUnknownProcess) {
+		t.Fatalf("State ghost = %v", err)
+	}
+	if err := mgr.Restart([]string{"ghost"}); !errors.Is(err, ErrUnknownProcess) {
+		t.Fatalf("Restart ghost = %v", err)
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	mgr, _ := newTestManager(t)
+	_ = mgr.Register("a", func() Handler { return &testComp{startup: time.Second} })
+	_ = mgr.Start("a")
+	if err := mgr.Start("a"); !errors.Is(err, ErrNotRunnable) {
+		t.Fatalf("second Start = %v, want ErrNotRunnable", err)
+	}
+}
+
+func TestKillIsFailSilent(t *testing.T) {
+	mgr, k := newTestManager(t)
+	tc := &testComp{startup: time.Second}
+	_ = mgr.Register("a", func() Handler { return tc })
+	_ = mgr.Start("a")
+	_ = k.RunFor(2 * time.Second)
+	if err := mgr.Kill("a", "SIGKILL"); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	st, _ := mgr.State("a")
+	if st != Dead {
+		t.Fatalf("state = %v, want Dead", st)
+	}
+	n := len(tc.received)
+	if ok := mgr.Deliver(xmlcmd.NewPing("fd", "a", 1, 1)); ok {
+		t.Fatal("Deliver to dead process reported consumed")
+	}
+	if len(tc.received) != n {
+		t.Fatal("dead process received a message")
+	}
+	// Kill twice is a no-op.
+	if err := mgr.Kill("a", "again"); err != nil {
+		t.Fatalf("second Kill: %v", err)
+	}
+}
+
+func TestPendingTimersInvalidatedByKill(t *testing.T) {
+	mgr, k := newTestManager(t)
+	tc := &testComp{startup: 5 * time.Second}
+	_ = mgr.Register("a", func() Handler { return tc })
+	_ = mgr.Start("a")
+	_ = k.RunFor(time.Second)
+	_ = mgr.Kill("a", "mid-startup kill")
+	_ = k.RunFor(time.Minute)
+	if mgr.Serving("a") {
+		t.Fatal("killed process became ready from stale timer")
+	}
+	if tc.ready {
+		t.Fatal("stale startup callback ran after kill")
+	}
+}
+
+func TestRestartCreatesFreshIncarnation(t *testing.T) {
+	mgr, k := newTestManager(t)
+	var made int
+	_ = mgr.Register("a", func() Handler {
+		made++
+		return &testComp{startup: time.Second}
+	})
+	_ = mgr.Start("a")
+	_ = k.RunFor(2 * time.Second)
+	if err := mgr.Restart([]string{"a"}); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	_ = k.RunFor(2 * time.Second)
+	if !mgr.Serving("a") {
+		t.Fatal("not serving after restart")
+	}
+	gen, _ := mgr.Incarnation("a")
+	if gen != 2 || made != 2 {
+		t.Fatalf("incarnation=%d factories=%d, want 2/2", gen, made)
+	}
+	r, _ := mgr.Restarts("a")
+	if r != 1 {
+		t.Fatalf("Restarts = %d, want 1", r)
+	}
+}
+
+func TestBatchContentionStretch(t *testing.T) {
+	mgr, k := newTestManager(t)
+	mgr.ContentionPerPeer = 0.1
+	comps := make(map[string]*testComp)
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		tc := &testComp{startup: 10 * time.Second}
+		comps[name] = tc
+		_ = mgr.Register(name, func() Handler { return tc })
+	}
+	if err := mgr.StartBatch([]string{"a", "b", "c"}); err != nil {
+		t.Fatalf("StartBatch: %v", err)
+	}
+	// stretch = 1 + 0.1*2 = 1.2 → ready at 12s, not 10s.
+	_ = k.RunFor(11 * time.Second)
+	if mgr.Serving("a") {
+		t.Fatal("batch member ready before stretched startup elapsed")
+	}
+	_ = k.RunFor(2 * time.Second)
+	if !mgr.AllServing("a", "b", "c") {
+		t.Fatal("batch members not all serving after stretched startup")
+	}
+}
+
+func TestSingleStartNoStretch(t *testing.T) {
+	mgr, k := newTestManager(t)
+	mgr.ContentionPerPeer = 0.5
+	tc := &testComp{startup: 10 * time.Second}
+	_ = mgr.Register("a", func() Handler { return tc })
+	_ = mgr.Start("a")
+	_ = k.RunFor(10*time.Second + 100*time.Millisecond)
+	if !mgr.Serving("a") {
+		t.Fatal("single start was stretched")
+	}
+}
+
+func TestSilence(t *testing.T) {
+	mgr, k := newTestManager(t)
+	tc := &testComp{startup: time.Second}
+	_ = mgr.Register("a", func() Handler { return tc })
+	_ = mgr.Start("a")
+	_ = k.RunFor(2 * time.Second)
+	var downName string
+	mgr.OnDown(func(name, reason string) { downName = name })
+	if err := mgr.Silence("a"); err != nil {
+		t.Fatalf("Silence: %v", err)
+	}
+	if mgr.Serving("a") {
+		t.Fatal("silenced process still serving")
+	}
+	if downName != "a" {
+		t.Fatal("OnDown not fired for silence")
+	}
+	st, _ := mgr.State("a")
+	if st != Running {
+		t.Fatalf("silenced state = %v, want Running", st)
+	}
+	if mgr.Deliver(xmlcmd.NewPing("fd", "a", 1, 1)) {
+		t.Fatal("silenced process consumed a message")
+	}
+	// Restart clears silence.
+	_ = mgr.Restart([]string{"a"})
+	_ = k.RunFor(2 * time.Second)
+	if !mgr.Serving("a") {
+		t.Fatal("restart did not clear silence")
+	}
+}
+
+func TestOnReadyAndOnBatchCallbacks(t *testing.T) {
+	mgr, k := newTestManager(t)
+	_ = mgr.Register("a", func() Handler { return &testComp{startup: time.Second} })
+	_ = mgr.Register("b", func() Handler { return &testComp{startup: time.Second} })
+	var ready []string
+	var batches [][]string
+	mgr.OnReady(func(name string) { ready = append(ready, name) })
+	mgr.OnBatch(func(names []string) { batches = append(batches, names) })
+	_ = mgr.StartBatch([]string{"a", "b"})
+	_ = k.RunFor(3 * time.Second)
+	if len(ready) != 2 {
+		t.Fatalf("ready callbacks = %v", ready)
+	}
+	if len(batches) != 1 || len(batches[0]) != 2 {
+		t.Fatalf("batches = %v", batches)
+	}
+}
+
+func TestDeliverRoutesToHandler(t *testing.T) {
+	mgr, k := newTestManager(t)
+	a := &testComp{startup: time.Second}
+	fd := &testComp{startup: time.Second}
+	_ = mgr.Register("a", func() Handler { return a })
+	_ = mgr.Register("fd", func() Handler { return fd })
+	_ = mgr.StartBatch([]string{"a", "fd"})
+	_ = k.RunFor(3 * time.Second)
+	if !mgr.Deliver(xmlcmd.NewPing("fd", "a", 1, 77)) {
+		t.Fatal("Deliver failed")
+	}
+	// a replies pong to fd via the direct transport.
+	if len(fd.received) != 1 || fd.received[0].Kind() != xmlcmd.KindPong {
+		t.Fatalf("fd received %v", fd.received)
+	}
+	if fd.received[0].Pong.Nonce != 77 {
+		t.Fatalf("nonce = %d", fd.received[0].Pong.Nonce)
+	}
+}
+
+func TestReceiveDuringStarting(t *testing.T) {
+	mgr, k := newTestManager(t)
+	a := &testComp{startup: 10 * time.Second}
+	_ = mgr.Register("a", func() Handler { return a })
+	_ = mgr.Start("a")
+	_ = k.RunFor(time.Second)
+	if !mgr.Deliver(xmlcmd.NewPing("fd", "a", 1, 1)) {
+		t.Fatal("starting process did not accept message")
+	}
+	if len(a.received) != 1 {
+		t.Fatal("message not delivered to starting handler")
+	}
+	// But it does not pong before ready.
+	if a.ready {
+		t.Fatal("ready too early")
+	}
+}
+
+func TestStaleContextIgnored(t *testing.T) {
+	mgr, k := newTestManager(t)
+	var firstCtx Context
+	_ = mgr.Register("a", func() Handler {
+		return handlerFunc{
+			start: func(ctx Context) {
+				if firstCtx == nil {
+					firstCtx = ctx
+				}
+				ctx.After(time.Second, ctx.Ready)
+			},
+		}
+	})
+	_ = mgr.Start("a")
+	_ = k.RunFor(2 * time.Second)
+	_ = mgr.Restart([]string{"a"})
+	_ = k.RunFor(2 * time.Second)
+	gen, _ := mgr.Incarnation("a")
+	if gen != 2 {
+		t.Fatalf("gen = %d", gen)
+	}
+	// Calls on the incarnation-1 context must be no-ops now.
+	firstCtx.Fail("stale fail")
+	if st, _ := mgr.State("a"); st != Running {
+		t.Fatalf("stale Fail affected new incarnation: %v", st)
+	}
+	firstCtx.Ready()
+	if g, _ := mgr.Incarnation("a"); g != 2 {
+		t.Fatalf("incarnation changed: %d", g)
+	}
+}
+
+func TestFailCrashesProcess(t *testing.T) {
+	mgr, k := newTestManager(t)
+	_ = mgr.Register("a", func() Handler {
+		return handlerFunc{
+			start: func(ctx Context) {
+				ctx.After(time.Second, func() { ctx.Fail("bug") })
+			},
+		}
+	})
+	var down string
+	mgr.OnDown(func(name, reason string) { down = name + ":" + reason })
+	_ = mgr.Start("a")
+	_ = k.RunFor(2 * time.Second)
+	if st, _ := mgr.State("a"); st != Dead {
+		t.Fatalf("state = %v, want Dead", st)
+	}
+	if down != "a:bug" {
+		t.Fatalf("down = %q", down)
+	}
+}
+
+func TestDowntimeAccounting(t *testing.T) {
+	mgr, k := newTestManager(t)
+	_ = mgr.Register("a", func() Handler { return &testComp{startup: 2 * time.Second} })
+	_ = mgr.Start("a")
+	_ = k.RunFor(3 * time.Second) // ready at t=2
+	_ = mgr.Kill("a", "kill")     // down at t=3
+	_ = k.RunFor(5 * time.Second) // still down until t=8
+	_ = mgr.Restart([]string{"a"})
+	_ = k.RunFor(3 * time.Second) // ready again at t=10
+	d, err := mgr.Downtime("a")
+	if err != nil {
+		t.Fatalf("Downtime: %v", err)
+	}
+	if d != 7*time.Second {
+		t.Fatalf("downtime = %v, want 7s (killed t=3, ready t=10)", d)
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	mgr, _ := newTestManager(t)
+	for _, n := range []string{"z", "a", "m"} {
+		_ = mgr.Register(n, func() Handler { return &testComp{} })
+	}
+	names := mgr.Names()
+	if names[0] != "z" || names[1] != "a" || names[2] != "m" {
+		t.Fatalf("Names = %v, want registration order", names)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Running.String() != "running" || Dead.String() != "dead" {
+		t.Fatal("state names wrong")
+	}
+	if State(42).String() == "" {
+		t.Fatal("unknown state empty")
+	}
+}
+
+// handlerFunc adapts closures to Handler.
+type handlerFunc struct {
+	start   func(Context)
+	receive func(Context, *xmlcmd.Message)
+}
+
+func (h handlerFunc) Start(ctx Context) { h.start(ctx) }
+func (h handlerFunc) Receive(ctx Context, m *xmlcmd.Message) {
+	if h.receive != nil {
+		h.receive(ctx, m)
+	}
+}

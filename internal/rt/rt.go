@@ -1,0 +1,518 @@
+// Package rt is the real-time runtime: it hosts the same component
+// handlers the simulator runs (station components, FD, REC) on wall-clock
+// time with the real TCP message bus. All actor activity is serialised
+// through a single dispatcher goroutine, giving handlers the same
+// single-threaded execution model the simulation kernel provides, so one
+// component codebase serves both runtimes.
+//
+// An optional time-scale factor compresses the calibrated "paper seconds"
+// (a 21 s pbcom restart) into a live demo that takes a tenth of the time.
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/bus"
+	"github.com/recursive-restart/mercury/internal/clock"
+	"github.com/recursive-restart/mercury/internal/core"
+	"github.com/recursive-restart/mercury/internal/fault"
+	"github.com/recursive-restart/mercury/internal/proc"
+	"github.com/recursive-restart/mercury/internal/station"
+	"github.com/recursive-restart/mercury/internal/trace"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// Dispatcher serialises all actor work onto one goroutine.
+type Dispatcher struct {
+	posts chan func()
+	quit  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+}
+
+// NewDispatcher starts the dispatch loop.
+func NewDispatcher() *Dispatcher {
+	d := &Dispatcher{
+		posts: make(chan func(), 1024),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go d.loop()
+	return d
+}
+
+func (d *Dispatcher) loop() {
+	defer close(d.done)
+	for {
+		select {
+		case fn := <-d.posts:
+			fn()
+		case <-d.quit:
+			return
+		}
+	}
+}
+
+// Post enqueues fn on the dispatch goroutine. Posts after Stop are
+// silently dropped (late timers during shutdown).
+func (d *Dispatcher) Post(fn func()) {
+	select {
+	case d.posts <- fn:
+	case <-d.quit:
+	}
+}
+
+// Call runs fn on the dispatch goroutine and waits for it. After Stop it
+// returns immediately without running fn.
+func (d *Dispatcher) Call(fn func()) {
+	done := make(chan struct{})
+	d.Post(func() {
+		defer close(done)
+		fn()
+	})
+	select {
+	case <-done:
+	case <-d.quit:
+	}
+}
+
+// Stop terminates the dispatcher; queued posts may be dropped.
+func (d *Dispatcher) Stop() {
+	d.once.Do(func() { close(d.quit) })
+	<-d.done
+}
+
+// Clock is a wall clock whose callbacks run on the dispatcher, with
+// durations compressed by Scale.
+type Clock struct {
+	D     *Dispatcher
+	Scale float64
+}
+
+var _ clock.Clock = Clock{}
+
+// Now returns wall time.
+func (c Clock) Now() time.Time { return time.Now() }
+
+// AfterFunc schedules fn on the dispatcher after d/Scale.
+func (c Clock) AfterFunc(d time.Duration, fn func()) clock.Timer {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	t := time.AfterFunc(time.Duration(float64(d)/s), func() {
+		c.D.Post(fn) // dropped silently if the dispatcher has stopped
+	})
+	return rtTimer{t}
+}
+
+type rtTimer struct{ t *time.Timer }
+
+func (r rtTimer) Stop() bool { return r.t.Stop() }
+
+// FDParamsForScale adapts the failure detector to time compression. The
+// calibrated 200 ms pong timeout becomes only a few milliseconds of wall
+// time at high scale — too tight for real TCP and scheduling jitter — so
+// the timeout is floored at ~25 ms of wall time and the ping period is
+// stretched to keep at least half the cycle free.
+func FDParamsForScale(scale float64) core.FDParams {
+	p := core.DefaultFDParams()
+	if scale <= 1 {
+		return p
+	}
+	floor := time.Duration(float64(25*time.Millisecond) * scale)
+	if p.PingTimeout < floor {
+		p.PingTimeout = floor
+	}
+	if p.PingPeriod < 2*p.PingTimeout {
+		p.PingPeriod = 2 * p.PingTimeout
+	}
+	if p.ReReportInterval < 2*p.PingPeriod {
+		p.ReReportInterval = 2 * p.PingPeriod
+	}
+	return p
+}
+
+// RECParamsForScale applies the same wall-time floors to the recoverer's
+// FD-monitoring link and widens the persistence/grace windows to cover the
+// slower detection.
+func RECParamsForScale(scale float64) core.RECParams {
+	p := core.DefaultRECParams()
+	if scale <= 1 {
+		return p
+	}
+	fd := FDParamsForScale(scale)
+	p.FDTimeout = fd.PingTimeout
+	if p.FDPingPeriod < 2*p.FDTimeout {
+		p.FDPingPeriod = 2 * p.FDTimeout
+	}
+	if p.PersistWindow < 2*fd.ReReportInterval {
+		p.PersistWindow = 2 * fd.ReReportInterval
+	}
+	if p.ReadyGrace < fd.PingPeriod+fd.PingTimeout {
+		p.ReadyGrace = fd.PingPeriod + fd.PingTimeout
+	}
+	return p
+}
+
+// NodeConfig parameterises a live node.
+type NodeConfig struct {
+	// ListenAddr is the broker's TCP address ("127.0.0.1:0" for ephemeral).
+	ListenAddr string
+	// Scale compresses calibrated durations (10 = ten times faster).
+	Scale float64
+	// TreeName and Policy select the restart tree and oracle (same names
+	// as the simulation).
+	TreeName string
+	Policy   core.Oracle // optional; nil = escalating
+	// Seed drives the deterministic parts (jitter, epochs).
+	Seed int64
+}
+
+// Node hosts a live Mercury station: TCP broker, components, FD and REC.
+type Node struct {
+	Disp  *Dispatcher
+	Mgr   *proc.Manager
+	Board *fault.Board
+	Log   *trace.Log
+	Tree  *core.Tree
+
+	cfg     NodeConfig
+	scale   float64
+	clients map[string]*bus.TCPClient
+	broker  *BrokerControl
+	mu      sync.Mutex
+	stopped bool
+}
+
+// BrokerControl ties the mbus process lifecycle to the real TCP broker:
+// while the process is down the listener is closed and frames are lost.
+// It is shared by the in-process runtime (Node) and the multi-process
+// supervisor (internal/mp).
+type BrokerControl struct {
+	addr   string
+	mu     sync.Mutex
+	broker *bus.TCPBroker
+}
+
+func (bc *BrokerControl) Open() error {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if bc.broker != nil {
+		return nil
+	}
+	b, err := bus.ListenBroker(bc.addr)
+	if err != nil {
+		return err
+	}
+	if bc.addr == "127.0.0.1:0" || bc.addr == ":0" {
+		bc.addr = b.Addr() // pin the ephemeral port for restarts
+	}
+	bc.broker = b
+	return nil
+}
+
+func (bc *BrokerControl) CloseBroker() {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if bc.broker != nil {
+		_ = bc.broker.Close()
+		bc.broker = nil
+	}
+}
+
+func (bc *BrokerControl) Address() string {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	return bc.addr
+}
+
+// NewBrokerControl returns a controller for a broker on addr.
+func NewBrokerControl(addr string) *BrokerControl {
+	return &BrokerControl{addr: addr}
+}
+
+// NewLiveBrokerHandler returns the mbus component for real-time runtimes:
+// its startup opens the TCP listener, its death closes it (via the
+// manager's OnDown hook calling ctl.CloseBroker).
+func NewLiveBrokerHandler(startup time.Duration, ctl *BrokerControl) func() proc.Handler {
+	return func() proc.Handler { return &rtBrokerHandler{startup: startup, ctl: ctl} }
+}
+
+// rtBrokerHandler is the mbus component in real-time mode: its startup
+// opens the TCP listener, its death closes it.
+type rtBrokerHandler struct {
+	startup time.Duration
+	ctl     *BrokerControl
+	ready   bool
+}
+
+func (h *rtBrokerHandler) Start(ctx proc.Context) {
+	d := time.Duration(float64(h.startup) * ctx.Stretch())
+	ctx.After(d, func() {
+		if err := h.ctl.Open(); err != nil {
+			ctx.Fail("broker listen: " + err.Error())
+			return
+		}
+		h.ready = true
+		ctx.Ready()
+	})
+}
+
+func (h *rtBrokerHandler) Receive(ctx proc.Context, m *xmlcmd.Message) {
+	if m.Kind() == xmlcmd.KindPing && h.ready {
+		ctx.Send(xmlcmd.NewPong(ctx.Name(), m, ctx.Incarnation()))
+	}
+}
+
+// transport sends each component's traffic through its own TCP client,
+// except the FD↔REC dedicated link which is delivered in-process.
+type transport struct {
+	node *Node
+}
+
+func (t transport) Send(m *xmlcmd.Message) {
+	if (m.From == xmlcmd.AddrFD || m.From == xmlcmd.AddrREC) &&
+		(m.To == xmlcmd.AddrFD || m.To == xmlcmd.AddrREC) {
+		// Dedicated link: does not transit mbus.
+		t.node.Mgr.Deliver(m)
+		return
+	}
+	t.node.mu.Lock()
+	c := t.node.clients[m.From]
+	t.node.mu.Unlock()
+	if c != nil {
+		c.Send(m)
+	}
+}
+
+// StartNode builds and boots a live station.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.TreeName == "" {
+		cfg.TreeName = "IV"
+	}
+
+	disp := NewDispatcher()
+	clk := Clock{D: disp, Scale: cfg.Scale}
+	log := trace.NewLog()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mgr := proc.NewManager(clk, rng, log)
+
+	node := &Node{
+		Disp:    disp,
+		Mgr:     mgr,
+		Log:     log,
+		cfg:     cfg,
+		scale:   cfg.Scale,
+		clients: make(map[string]*bus.TCPClient),
+		broker:  &BrokerControl{addr: cfg.ListenAddr},
+	}
+	mgr.SetTransport(transport{node: node})
+	node.Board = fault.NewBoard(clk, mgr, log)
+
+	params := station.DefaultParams(time.Now())
+	trees, err := core.MercuryTrees(station.MonolithicComponents(), station.SplitComponents())
+	if err != nil {
+		return nil, err
+	}
+	tree, ok := trees[cfg.TreeName]
+	if !ok {
+		return nil, fmt.Errorf("rt: unknown tree %q", cfg.TreeName)
+	}
+	node.Tree = tree
+	layout := station.Split
+	if cfg.TreeName == "I" || cfg.TreeName == "II" {
+		layout = station.Monolithic
+	}
+
+	// Register the station, swapping the broker handler for the real one.
+	comps, err := registerStation(mgr, params, layout, node)
+	if err != nil {
+		return nil, err
+	}
+
+	oracle := cfg.Policy
+	if oracle == nil {
+		oracle = core.EscalatingOracle{}
+	}
+	restartFD := func() {
+		if st, _ := mgr.State(xmlcmd.AddrFD); st != proc.Starting {
+			_ = mgr.Restart([]string{xmlcmd.AddrFD})
+		}
+	}
+	restartREC := func() {
+		if st, _ := mgr.State(xmlcmd.AddrREC); st != proc.Starting {
+			_ = mgr.Restart([]string{xmlcmd.AddrREC})
+		}
+	}
+	recFactory, _ := core.NewREC(RECParamsForScale(cfg.Scale), tree, oracle, mgr, restartFD)
+	if err := mgr.Register(xmlcmd.AddrREC, recFactory); err != nil {
+		return nil, err
+	}
+	if err := mgr.Register(xmlcmd.AddrFD, core.NewFD(FDParamsForScale(cfg.Scale), comps, station.MBus, restartREC)); err != nil {
+		return nil, err
+	}
+
+	// Open bus clients for every component (FD included; REC uses only the
+	// dedicated link).
+	if err := node.broker.Open(); err != nil {
+		return nil, err
+	}
+	for _, name := range append(append([]string(nil), comps...), xmlcmd.AddrFD) {
+		name := name
+		client, err := bus.DialBus(node.broker.Address(), name, func(m *xmlcmd.Message) {
+			disp.Post(func() { node.Mgr.Deliver(m) })
+		})
+		if err != nil {
+			return nil, err
+		}
+		node.clients[name] = client
+	}
+
+	// Boot: station first, then FD/REC.
+	var bootErr error
+	disp.Call(func() { bootErr = mgr.StartBatch(comps) })
+	if bootErr != nil {
+		return nil, bootErr
+	}
+	deadline := time.Now().Add(scaled(90*time.Second, cfg.Scale) + 5*time.Second)
+	for {
+		var ok bool
+		disp.Call(func() { ok = mgr.AllServing(comps...) })
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			node.Stop()
+			return nil, errors.New("rt: station did not boot in time")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	disp.Call(func() { bootErr = mgr.StartBatch([]string{xmlcmd.AddrFD, xmlcmd.AddrREC}) })
+	if bootErr != nil {
+		node.Stop()
+		return nil, bootErr
+	}
+	return node, nil
+}
+
+// registerStation mirrors station.Register but substitutes the live broker
+// handler for mbus (the simulated one has no listener to manage).
+func registerStation(mgr *proc.Manager, p station.Params, layout station.Layout, node *Node) ([]string, error) {
+	names, err := layout.Components()
+	if err != nil {
+		return nil, err
+	}
+	if err := mgr.Register(station.MBus, func() proc.Handler {
+		return &rtBrokerHandler{startup: p.MBusStartup, ctl: node.broker}
+	}); err != nil {
+		return nil, err
+	}
+	switch layout {
+	case station.Monolithic:
+		if err := mgr.Register(station.Fedrcom, station.NewFedrcom(p)); err != nil {
+			return nil, err
+		}
+		if err := mgr.Register(station.RTU, station.NewRTU(p, station.Fedrcom)); err != nil {
+			return nil, err
+		}
+	case station.Split:
+		if err := mgr.Register(station.Fedr, station.NewFedr(p)); err != nil {
+			return nil, err
+		}
+		if err := mgr.Register(station.Pbcom, station.NewPbcom(p)); err != nil {
+			return nil, err
+		}
+		if err := mgr.Register(station.RTU, station.NewRTU(p, station.Fedr)); err != nil {
+			return nil, err
+		}
+	}
+	if err := mgr.Register(station.SES, station.NewSES(p)); err != nil {
+		return nil, err
+	}
+	if err := mgr.Register(station.STR, station.NewSTR(p)); err != nil {
+		return nil, err
+	}
+
+	// The broker process's death must close the real listener.
+	mgr.OnDown(func(name, _ string) {
+		if name == station.MBus {
+			node.broker.CloseBroker()
+		}
+	})
+	return names, nil
+}
+
+// scaled converts a calibrated duration to wall time.
+func scaled(d time.Duration, scale float64) time.Duration {
+	return time.Duration(float64(d) / scale)
+}
+
+// Inject delivers a fault into the live station.
+func (n *Node) Inject(f fault.Fault) error {
+	var err error
+	n.Disp.Call(func() { err = n.Board.Inject(f) })
+	return err
+}
+
+// AllServing reports whether the station components all serve.
+func (n *Node) AllServing() bool {
+	var ok bool
+	n.Disp.Call(func() {
+		comps := []string{station.MBus, station.SES, station.STR, station.RTU}
+		if n.cfg.TreeName == "I" || n.cfg.TreeName == "II" {
+			comps = append(comps, station.Fedrcom)
+		} else {
+			comps = append(comps, station.Fedr, station.Pbcom)
+		}
+		ok = n.Mgr.AllServing(comps...) && n.Board.ActiveCount() == 0
+	})
+	return ok
+}
+
+// WaitRecovered polls until the station recovers or the wall deadline
+// passes.
+func (n *Node) WaitRecovered(limit time.Duration) error {
+	deadline := time.Now().Add(limit)
+	for time.Now().Before(deadline) {
+		if n.AllServing() {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return errors.New("rt: no recovery before deadline")
+}
+
+// BusAddr returns the live broker address (for faultgen and external
+// clients).
+func (n *Node) BusAddr() string { return n.broker.Address() }
+
+// Stop tears the node down.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	clients := n.clients
+	n.clients = map[string]*bus.TCPClient{}
+	n.mu.Unlock()
+	// Stop the dispatcher first so no handler can reopen the broker or
+	// touch clients while they are torn down.
+	n.Disp.Stop()
+	for _, c := range clients {
+		c.Close()
+	}
+	n.broker.CloseBroker()
+}

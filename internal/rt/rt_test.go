@@ -1,0 +1,131 @@
+package rt
+
+import (
+	"testing"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/fault"
+	"github.com/recursive-restart/mercury/internal/station"
+	"github.com/recursive-restart/mercury/internal/trace"
+)
+
+// The real-time tests run the whole station at 100× compression: a
+// calibrated 5.5 s recovery takes ~55 ms of wall time.
+const testScale = 100
+
+func startNode(t *testing.T, tree string) *Node {
+	t.Helper()
+	node, err := StartNode(NodeConfig{
+		ListenAddr: "127.0.0.1:0",
+		Scale:      testScale,
+		TreeName:   tree,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("StartNode: %v", err)
+	}
+	t.Cleanup(node.Stop)
+	return node
+}
+
+func TestLiveNodeBoots(t *testing.T) {
+	node := startNode(t, "IV")
+	if !node.AllServing() {
+		t.Fatal("node booted but components not serving")
+	}
+	if node.BusAddr() == "" {
+		t.Fatal("no bus address")
+	}
+}
+
+func TestLiveRecoveryFromKill(t *testing.T) {
+	node := startNode(t, "IV")
+	if err := node.Inject(fault.Fault{Manifest: station.RTU}); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.WaitRecovered(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var restarts int
+	node.Disp.Call(func() { restarts, _ = node.Mgr.Restarts(station.RTU) })
+	if restarts != 1 {
+		t.Fatalf("rtu restarted %d times", restarts)
+	}
+	recovered := node.Log.Filter(func(e trace.Event) bool {
+		return e.Kind == trace.ComponentReady && e.Component == station.RTU
+	})
+	if len(recovered) < 2 { // initial boot + recovery
+		t.Fatalf("rtu ready events = %d", len(recovered))
+	}
+}
+
+func TestLiveBrokerOutageRecovery(t *testing.T) {
+	node := startNode(t, "IV")
+	if err := node.Inject(fault.Fault{Manifest: station.MBus}); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.WaitRecovered(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Only mbus should have been restarted despite everything looking dead
+	// during the outage.
+	for _, c := range []string{station.SES, station.STR, station.RTU} {
+		var n int
+		node.Disp.Call(func() { n, _ = node.Mgr.Restarts(c) })
+		if n != 0 {
+			t.Fatalf("%s restarted %d times during broker outage", c, n)
+		}
+	}
+}
+
+func TestLiveCorrelatedTrackerRecovery(t *testing.T) {
+	node := startNode(t, "IV")
+	if err := node.Inject(fault.Fault{Manifest: station.SES}); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.WaitRecovered(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Consolidated cell: both trackers restarted together.
+	for _, c := range []string{station.SES, station.STR} {
+		var n int
+		node.Disp.Call(func() { n, _ = node.Mgr.Restarts(c) })
+		if n != 1 {
+			t.Fatalf("%s restarted %d times", c, n)
+		}
+	}
+}
+
+func TestUnknownTreeRejected(t *testing.T) {
+	if _, err := StartNode(NodeConfig{TreeName: "nope", Scale: testScale}); err == nil {
+		t.Fatal("unknown tree accepted")
+	}
+}
+
+func TestDispatcherCallAndStop(t *testing.T) {
+	d := NewDispatcher()
+	n := 0
+	d.Call(func() { n = 42 })
+	if n != 42 {
+		t.Fatal("Call did not run")
+	}
+	d.Stop()
+	d.Stop() // idempotent
+}
+
+func TestClockScaling(t *testing.T) {
+	d := NewDispatcher()
+	defer d.Stop()
+	c := Clock{D: d, Scale: 100}
+	done := make(chan time.Time, 1)
+	start := time.Now()
+	c.AfterFunc(2*time.Second, func() { done <- time.Now() })
+	select {
+	case at := <-done:
+		if el := at.Sub(start); el > 500*time.Millisecond {
+			t.Fatalf("scaled 2s fired after %v of wall time", el)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("scaled timer never fired")
+	}
+}

@@ -1,0 +1,259 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel owns a virtual clock and a priority queue of scheduled events.
+// All simulated activity — component startups, liveness pings, fault
+// injection, message delivery — is expressed as events. Running the kernel
+// pops events in (time, sequence) order and executes their callbacks, which
+// may schedule further events. Two runs with the same seed and the same
+// schedule of calls produce identical traces.
+//
+// The kernel is single-threaded by design: events run one at a time on the
+// goroutine that calls Run/Step. This gives the simulation the determinism
+// that real concurrent execution cannot, while the actor code driven by the
+// kernel remains oblivious (it only sees the clock.Clock interface).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Epoch is the default simulation start time. Any fixed instant works; this
+// one is recognisable in traces.
+var Epoch = time.Date(2002, time.June, 23, 0, 0, 0, 0, time.UTC)
+
+// ErrDeadlocked is returned by RunUntil when the event queue drains before
+// the target time is reached and no further progress is possible.
+var ErrDeadlocked = errors.New("sim: event queue empty before target time")
+
+// Kernel is a discrete-event simulation kernel. The zero value is not
+// usable; construct with New.
+type Kernel struct {
+	now     time.Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+
+	// executed counts events run, for tests and runaway detection.
+	executed uint64
+	// maxEvents aborts Run loops that exceed this many events (0 = no cap).
+	maxEvents uint64
+}
+
+// New returns a kernel starting at Epoch whose random source is seeded with
+// seed. The same seed yields an identical simulation.
+func New(seed int64) *Kernel {
+	return NewAt(seed, Epoch)
+}
+
+// NewAt returns a kernel starting at the given instant.
+func NewAt(seed int64, start time.Time) *Kernel {
+	return &Kernel{
+		now: start,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. All simulated
+// randomness (failure laws, startup jitter, oracle coin flips) must come
+// from here to keep runs reproducible.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Executed reports how many events have run so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// SetMaxEvents caps the number of events a Run* call may execute; exceeding
+// the cap makes Run* return ErrRunaway. Zero disables the cap.
+func (k *Kernel) SetMaxEvents(n uint64) { k.maxEvents = n }
+
+// ErrRunaway is returned when a Run* call exceeds the configured event cap,
+// which almost always indicates an accidental self-perpetuating event loop.
+var ErrRunaway = errors.New("sim: event cap exceeded (runaway event loop?)")
+
+// Timer is a handle to a scheduled event. Stop cancels the event if it has
+// not yet fired.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the call prevented the event
+// from firing. Stopping an already-fired or already-stopped timer is a
+// harmless no-op returning false.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	t.ev.fn = nil
+	return true
+}
+
+// AfterFunc schedules fn to run after d of virtual time. A non-positive d
+// schedules fn "immediately": it still goes through the queue, preserving
+// run-to-completion semantics for the caller. The returned Timer may be used
+// to cancel the event.
+func (k *Kernel) AfterFunc(d time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: AfterFunc with nil function")
+	}
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{
+		at:  k.now.Add(d),
+		seq: k.seq,
+		fn:  fn,
+	}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// Step pops and executes the next event. It reports false when the queue is
+// empty (nothing executed).
+func (k *Kernel) Step() bool {
+	for k.queue.Len() > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		k.now = ev.at
+		ev.fired = true
+		fn := ev.fn
+		ev.fn = nil
+		k.executed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// peekTime returns the time of the next runnable event.
+func (k *Kernel) peekTime() (time.Time, bool) {
+	for k.queue.Len() > 0 {
+		ev := k.queue[0]
+		if ev.cancelled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		return ev.at, true
+	}
+	return time.Time{}, false
+}
+
+// Run executes events until the queue is empty. It returns ErrRunaway if an
+// event cap is configured and exceeded.
+func (k *Kernel) Run() error {
+	start := k.executed
+	for k.Step() {
+		if k.maxEvents > 0 && k.executed-start > k.maxEvents {
+			return ErrRunaway
+		}
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps at or before target, then
+// advances the clock to target. If the queue drains first the clock still
+// advances to target and RunUntil returns nil; use RunUntilOrIdle if
+// draining should be detected.
+func (k *Kernel) RunUntil(target time.Time) error {
+	start := k.executed
+	for {
+		at, ok := k.peekTime()
+		if !ok || at.After(target) {
+			if target.After(k.now) {
+				k.now = target
+			}
+			return nil
+		}
+		k.Step()
+		if k.maxEvents > 0 && k.executed-start > k.maxEvents {
+			return ErrRunaway
+		}
+	}
+}
+
+// RunFor executes events for d of virtual time from the current instant.
+func (k *Kernel) RunFor(d time.Duration) error {
+	return k.RunUntil(k.now.Add(d))
+}
+
+// RunWhile executes events until cond reports false (checked after every
+// event) or the queue drains. It returns ErrDeadlocked if the queue drained
+// while cond was still true, and ErrRunaway on cap overrun.
+func (k *Kernel) RunWhile(cond func() bool) error {
+	start := k.executed
+	for cond() {
+		if !k.Step() {
+			return ErrDeadlocked
+		}
+		if k.maxEvents > 0 && k.executed-start > k.maxEvents {
+			return ErrRunaway
+		}
+	}
+	return nil
+}
+
+// Pending reports the number of scheduled (non-cancelled) events.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, ev := range k.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// event is a scheduled callback.
+type event struct {
+	at        time.Time
+	seq       uint64
+	fn        func()
+	index     int
+	cancelled bool
+	fired     bool
+}
+
+// eventQueue is a min-heap ordered by (at, seq). The sequence number breaks
+// ties so same-instant events run in schedule order, which keeps the
+// simulation deterministic.
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

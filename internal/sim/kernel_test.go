@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAfterFuncOrdering(t *testing.T) {
+	k := New(1)
+	var order []int
+	k.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	k.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	k.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	k := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	k := New(1)
+	start := k.Now()
+	var at time.Time
+	k.AfterFunc(90*time.Second, func() { at = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := at.Sub(start); got != 90*time.Second {
+		t.Fatalf("event ran at +%v, want +90s", got)
+	}
+	if k.Now() != start.Add(90*time.Second) {
+		t.Fatalf("kernel now = %v", k.Now())
+	}
+}
+
+func TestNegativeDelayRunsImmediately(t *testing.T) {
+	k := New(1)
+	ran := false
+	k.AfterFunc(-time.Second, func() { ran = true })
+	if !k.Step() {
+		t.Fatal("Step found no event")
+	}
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+	if k.Now() != Epoch {
+		t.Fatalf("clock moved backwards: %v", k.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	k := New(1)
+	ran := false
+	tm := k.AfterFunc(time.Second, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false on live timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestStopAfterFire(t *testing.T) {
+	k := New(1)
+	tm := k.AfterFunc(0, func() {})
+	k.Step()
+	if tm.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	k := New(1)
+	fired := 0
+	k.AfterFunc(time.Second, func() { fired++ })
+	k.AfterFunc(time.Hour, func() { fired++ })
+	if err := k.RunUntil(Epoch.Add(time.Minute)); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if k.Now() != Epoch.Add(time.Minute) {
+		t.Fatalf("now = %v, want +1m", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	k := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 5 {
+			k.AfterFunc(time.Second, tick)
+		}
+	}
+	k.AfterFunc(time.Second, tick)
+	if err := k.RunWhile(func() bool { return n < 3 }); err != nil {
+		t.Fatalf("RunWhile: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("n = %d, want 3", n)
+	}
+}
+
+func TestRunWhileDeadlock(t *testing.T) {
+	k := New(1)
+	if err := k.RunWhile(func() bool { return true }); err != ErrDeadlocked {
+		t.Fatalf("err = %v, want ErrDeadlocked", err)
+	}
+}
+
+func TestRunawayDetection(t *testing.T) {
+	k := New(1)
+	k.SetMaxEvents(100)
+	var loop func()
+	loop = func() { k.AfterFunc(time.Millisecond, loop) }
+	k.AfterFunc(0, loop)
+	if err := k.Run(); err != ErrRunaway {
+		t.Fatalf("err = %v, want ErrRunaway", err)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []float64 {
+		k := New(seed)
+		var out []float64
+		var step func()
+		step = func() {
+			out = append(out, k.Rand().Float64())
+			if len(out) < 50 {
+				k.AfterFunc(time.Duration(k.Rand().Intn(1000))*time.Millisecond, step)
+			}
+		}
+		k.AfterFunc(0, step)
+		if err := k.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the clock never moves backwards.
+func TestPropertyMonotonicTime(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		k := New(7)
+		var last time.Time
+		ok := true
+		for _, d := range delaysMs {
+			k.AfterFunc(time.Duration(d)*time.Millisecond, func() {
+				if k.Now().Before(last) {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pending decreases by exactly one per executed event and reaches
+// zero when Run completes.
+func TestPropertyPendingAccounting(t *testing.T) {
+	f := func(n uint8) bool {
+		k := New(3)
+		for i := 0; i < int(n); i++ {
+			k.AfterFunc(time.Duration(i)*time.Millisecond, func() {})
+		}
+		if k.Pending() != int(n) {
+			return false
+		}
+		for i := int(n); i > 0; i-- {
+			if !k.Step() {
+				return false
+			}
+			if k.Pending() != i-1 {
+				return false
+			}
+		}
+		return !k.Step() && k.Pending() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	k := New(1)
+	var hits []time.Duration
+	k.AfterFunc(time.Second, func() {
+		k.AfterFunc(time.Second, func() {
+			hits = append(hits, k.Now().Sub(Epoch))
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(hits) != 1 || hits[0] != 2*time.Second {
+		t.Fatalf("hits = %v, want [2s]", hits)
+	}
+}

@@ -1,0 +1,95 @@
+package station
+
+import (
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/clock"
+	"github.com/recursive-restart/mercury/internal/proc"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// base carries the behaviour every station component shares: readiness
+// gating of liveness pings, per-incarnation sequence numbers, startup
+// jitter, and health-summary beacons.
+type base struct {
+	params Params
+	ready  bool
+	seq    uint64
+
+	healthTicker *clock.Ticker
+	warnings     int
+	ageScore     float64
+	queueDepth   int
+}
+
+// nextSeq returns a fresh sender-scoped sequence number.
+func (b *base) nextSeq() uint64 {
+	b.seq++
+	return b.seq
+}
+
+// startupDelay computes this incarnation's startup duration: the base time
+// stretched by restart contention, with a small jitter.
+func (b *base) startupDelay(ctx proc.Context, baseDur time.Duration) time.Duration {
+	d := time.Duration(float64(baseDur) * ctx.Stretch())
+	return clock.Jitter(ctx.Rand(), d, b.params.StartupJitterFrac)
+}
+
+// handleCommon services the protocol traffic shared by all components. It
+// reports whether the message was consumed.
+func (b *base) handleCommon(ctx proc.Context, m *xmlcmd.Message) bool {
+	switch m.Kind() {
+	case xmlcmd.KindPing:
+		// Only a functionally-ready component certifies liveness; a ping
+		// during startup goes unanswered, so FD keeps treating the
+		// component as down until it really serves (paper §2.2).
+		if b.ready {
+			ctx.Send(xmlcmd.NewPong(ctx.Name(), m, ctx.Incarnation()))
+		}
+		return true
+	case xmlcmd.KindPong, xmlcmd.KindAck, xmlcmd.KindHealth:
+		// Absorbed by default; components that care override before
+		// delegating here.
+		return true
+	}
+	return false
+}
+
+// becomeReady flips the component to ready, starts its health beacon and
+// reports readiness to the process manager.
+func (b *base) becomeReady(ctx proc.Context) {
+	if b.ready {
+		return
+	}
+	b.ready = true
+	if b.params.HealthPeriod > 0 {
+		startedAt := ctx.Now()
+		b.healthTicker = clock.NewTicker(tickClock{ctx}, b.params.HealthPeriod, func() {
+			ctx.Send(&xmlcmd.Message{
+				From: ctx.Name(),
+				To:   xmlcmd.AddrFD,
+				Seq:  b.nextSeq(),
+				Health: &xmlcmd.Health{
+					Incarnation: ctx.Incarnation(),
+					UptimeMs:    ctx.Now().Sub(startedAt).Milliseconds(),
+					QueueDepth:  b.queueDepth,
+					AgeScore:    b.ageScore,
+					Warnings:    b.warnings,
+					Suspect:     b.ageScore >= 0.8,
+				},
+			})
+		})
+	}
+	ctx.Ready()
+}
+
+// tickClock adapts a proc.Context to clock.Clock so tickers die with the
+// incarnation (ctx.After drops callbacks of ended incarnations).
+type tickClock struct {
+	ctx proc.Context
+}
+
+func (t tickClock) Now() time.Time { return t.ctx.Now() }
+func (t tickClock) AfterFunc(d time.Duration, fn func()) clock.Timer {
+	return t.ctx.After(d, fn)
+}

@@ -1,0 +1,492 @@
+package station
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/antenna"
+	"github.com/recursive-restart/mercury/internal/orbit"
+	"github.com/recursive-restart/mercury/internal/proc"
+	"github.com/recursive-restart/mercury/internal/radio"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// Ops is the bus address of the operations console / telemetry sink.
+const Ops = "ops"
+
+// sesComponent is the satellite estimator: it computes satellite position,
+// antenna pointing angles and Doppler-corrected radio frequencies, and
+// commands str and rtu accordingly. It resynchronises with str at startup.
+type sesComponent struct {
+	syncCore
+	front string // rtu's downstream front end, for context only
+}
+
+// NewSES returns a factory for the ses handler.
+func NewSES(p Params) func() proc.Handler {
+	return func() proc.Handler {
+		c := &sesComponent{}
+		c.params = p
+		c.peer = STR
+		return c
+	}
+}
+
+func (c *sesComponent) Start(ctx proc.Context) {
+	d := c.startupDelay(ctx, c.params.SesStartup)
+	ctx.After(d, func() { c.enterWaitSync(ctx) })
+	c.scheduleEstimation(ctx)
+}
+
+// scheduleEstimation drives the pass workload once ready: every telemetry
+// period, point the antenna and retune the radio for Doppler.
+func (c *sesComponent) scheduleEstimation(ctx proc.Context) {
+	ctx.After(c.params.TelemetryPeriod, func() {
+		if c.ready {
+			c.estimate(ctx)
+		}
+		c.scheduleEstimation(ctx)
+	})
+}
+
+func (c *sesComponent) estimate(ctx proc.Context) {
+	look, err := orbit.LookAt(c.params.Elements, c.params.Ground, ctx.Now())
+	if err != nil {
+		c.warnings++
+		return
+	}
+	ctx.Send(xmlcmd.NewCommand(SES, STR, c.nextSeq(), "point",
+		"azRad", formatFloat(look.AzimuthRad),
+		"elRad", formatFloat(look.ElevationRad)))
+	freq := c.params.CarrierHz + look.DopplerHz(c.params.CarrierHz)
+	ctx.Send(xmlcmd.NewCommand(SES, RTU, c.nextSeq(), "tune",
+		"freqHz", formatFloat(freq)))
+	ctx.Send(xmlcmd.NewTelemetry(SES, Ops, c.nextSeq(), "elevation_rad",
+		look.ElevationRad, ctx.Now()))
+}
+
+func (c *sesComponent) Receive(ctx proc.Context, m *xmlcmd.Message) {
+	switch m.Kind() {
+	case xmlcmd.KindSync:
+		c.handleSync(ctx, m)
+	case xmlcmd.KindSyncAck:
+		c.handleSyncAck(ctx, m)
+	default:
+		c.handleCommon(ctx, m)
+	}
+}
+
+// strComponent is the satellite tracker: it drives the antenna toward the
+// pointing targets ses computes and reports whether the link geometry
+// holds. It resynchronises with ses at startup.
+type strComponent struct {
+	syncCore
+	ant      *antenna.Model
+	targetAz float64
+	targetEl float64
+	haveTgt  bool
+}
+
+// NewSTR returns a factory for the str handler.
+func NewSTR(p Params) func() proc.Handler {
+	return func() proc.Handler {
+		c := &strComponent{}
+		c.params = p
+		c.peer = SES
+		ant, err := antenna.New(p.AntennaSlewRateRad, p.AntennaBeamwidthRad)
+		if err != nil {
+			// Parameters are validated at registration; reaching this
+			// means a programming error in the caller.
+			panic(fmt.Sprintf("station: bad antenna params: %v", err))
+		}
+		c.ant = ant
+		return c
+	}
+}
+
+func (c *strComponent) Start(ctx proc.Context) {
+	d := c.startupDelay(ctx, c.params.StrStartup)
+	ctx.After(d, func() { c.enterWaitSync(ctx) })
+	c.scheduleTracking(ctx)
+}
+
+// scheduleTracking steps the antenna once a second while ready.
+func (c *strComponent) scheduleTracking(ctx proc.Context) {
+	const tick = time.Second
+	ctx.After(tick, func() {
+		if c.ready && c.haveTgt {
+			c.ant.Step(c.targetAz, c.targetEl, tick)
+			onTarget := 0.0
+			if c.ant.OnTarget(c.targetAz, c.targetEl) {
+				onTarget = 1
+			}
+			ctx.Send(xmlcmd.NewTelemetry(STR, Ops, c.nextSeq(), "on_target",
+				onTarget, ctx.Now()))
+		}
+		c.scheduleTracking(ctx)
+	})
+}
+
+func (c *strComponent) Receive(ctx proc.Context, m *xmlcmd.Message) {
+	switch m.Kind() {
+	case xmlcmd.KindSync:
+		c.handleSync(ctx, m)
+	case xmlcmd.KindSyncAck:
+		c.handleSyncAck(ctx, m)
+	case xmlcmd.KindCommand:
+		if m.Command.Name != "point" || !c.ready {
+			return
+		}
+		az, errA := m.Command.FloatParam("azRad")
+		el, errE := m.Command.FloatParam("elRad")
+		if errA != nil || errE != nil {
+			c.warnings++
+			return
+		}
+		c.targetAz, c.targetEl, c.haveTgt = az, el, true
+		ctx.Send(xmlcmd.NewAck(STR, m.From, c.nextSeq(), m.Seq, true, ""))
+	default:
+		c.handleCommon(ctx, m)
+	}
+}
+
+// rtuComponent is the radio tuner: it accepts high-level tune commands
+// from ses and forwards them to the radio front end (fedrcom before the
+// split, fedr after).
+type rtuComponent struct {
+	base
+	front      string
+	lastFreqHz float64
+}
+
+// NewRTU returns a factory for the rtu handler. front names the component
+// that owns the radio (Fedrcom or Fedr).
+func NewRTU(p Params, front string) func() proc.Handler {
+	return func() proc.Handler {
+		c := &rtuComponent{front: front}
+		c.params = p
+		return c
+	}
+}
+
+func (c *rtuComponent) Start(ctx proc.Context) {
+	d := c.startupDelay(ctx, c.params.RtuStartup)
+	ctx.After(d, func() { c.becomeReady(ctx) })
+}
+
+func (c *rtuComponent) Receive(ctx proc.Context, m *xmlcmd.Message) {
+	switch m.Kind() {
+	case xmlcmd.KindCommand:
+		if m.Command.Name != "tune" || !c.ready {
+			return
+		}
+		f, err := m.Command.FloatParam("freqHz")
+		if err != nil {
+			c.warnings++
+			return
+		}
+		c.lastFreqHz = f
+		ctx.Send(xmlcmd.NewCommand(RTU, c.front, c.nextSeq(), "radio-tune",
+			"freqHz", formatFloat(f)))
+		ctx.Send(xmlcmd.NewAck(RTU, m.From, c.nextSeq(), m.Seq, true, ""))
+	default:
+		c.handleCommon(ctx, m)
+	}
+}
+
+// fedrcomComponent is the original monolithic bidirectional proxy between
+// XML commands and low-level radio commands. It owns the serial port, so a
+// restart pays the full hardware negotiation (high MTTR); its command
+// translator is the unstable half (low MTTF) — the bad combination the
+// split fixes.
+type fedrcomComponent struct {
+	base
+	port *radio.SerialPort
+	xcvr *radio.Transceiver
+}
+
+// NewFedrcom returns a factory for the monolithic front end. Each
+// incarnation gets a fresh serial-port model (the process re-opens the
+// device); use NewFedrcomSharedPort to model the physical device whose
+// state survives process restarts.
+func NewFedrcom(p Params) func() proc.Handler {
+	return func() proc.Handler {
+		c := &fedrcomComponent{}
+		c.params = p
+		c.port = radio.NewSerialPort(p.SerialNegotiation)
+		c.xcvr = radio.NewTransceiver(c.port, radio.UHFAmateur, p.TuneTime)
+		return c
+	}
+}
+
+// NewFedrcomSharedPort returns a fedrcom factory bound to an externally
+// owned serial port — the physical device. The caller must arrange for the
+// port to be released when the process dies (Manager.OnDown → port.Close),
+// since a killed process cannot clean up after itself. A wedged port makes
+// every restart fail: the class of hard hardware failure the paper's §7
+// notes restarting cannot cure.
+func NewFedrcomSharedPort(p Params, port *radio.SerialPort) func() proc.Handler {
+	return func() proc.Handler {
+		c := &fedrcomComponent{}
+		c.params = p
+		c.port = port
+		c.xcvr = radio.NewTransceiver(port, radio.UHFAmateur, p.TuneTime)
+		return c
+	}
+}
+
+func (c *fedrcomComponent) Start(ctx proc.Context) {
+	if err := c.port.BeginOpen(); err != nil {
+		ctx.Fail("serial port open: " + err.Error())
+		return
+	}
+	// The negotiation plus translator init is the calibrated startup time.
+	d := c.startupDelay(ctx, c.params.FedrcomStartup)
+	ctx.After(d, func() {
+		if err := c.port.FinishNegotiation(); err != nil {
+			ctx.Fail("serial negotiation: " + err.Error())
+			return
+		}
+		c.becomeReady(ctx)
+	})
+}
+
+func (c *fedrcomComponent) Receive(ctx proc.Context, m *xmlcmd.Message) {
+	if m.Kind() == xmlcmd.KindCommand && m.Command.Name == "radio-tune" && c.ready {
+		c.applyTune(ctx, m)
+		return
+	}
+	c.handleCommon(ctx, m)
+}
+
+func (c *fedrcomComponent) applyTune(ctx proc.Context, m *xmlcmd.Message) {
+	f, err := m.Command.FloatParam("freqHz")
+	if err != nil {
+		c.warnings++
+		return
+	}
+	if err := c.xcvr.BeginTune(f); err != nil {
+		c.warnings++
+		ctx.Send(xmlcmd.NewAck(ctx.Name(), m.From, c.nextSeq(), m.Seq, false, err.Error()))
+		return
+	}
+	ctx.After(c.params.TuneTime, func() {
+		c.xcvr.FinishTune()
+		locked := 0.0
+		if c.xcvr.Locked() {
+			locked = 1
+		}
+		ctx.Send(xmlcmd.NewTelemetry(ctx.Name(), Ops, c.nextSeq(), "radio_locked",
+			locked, ctx.Now()))
+	})
+	ctx.Send(xmlcmd.NewAck(ctx.Name(), m.From, c.nextSeq(), m.Seq, true, ""))
+}
+
+// pbcomComponent maps the serial port to the bus: simple and very stable,
+// but slow to recover (hardware negotiation). It ages every time it loses
+// the connection from fedr; enough losses kill it — the residual
+// correlated failure after the split.
+type pbcomComponent struct {
+	base
+	port     *radio.SerialPort
+	xcvr     *radio.Transceiver
+	fedrInc  int // last connected fedr incarnation
+	ageCount int
+	ageLimit int
+}
+
+// NewPbcom returns a factory for the serial-port proxy.
+func NewPbcom(p Params) func() proc.Handler {
+	return func() proc.Handler {
+		c := &pbcomComponent{ageLimit: p.PbcomAgeLimit}
+		c.params = p
+		c.port = radio.NewSerialPort(p.SerialNegotiation)
+		c.xcvr = radio.NewTransceiver(c.port, radio.UHFAmateur, p.TuneTime)
+		return c
+	}
+}
+
+func (c *pbcomComponent) Start(ctx proc.Context) {
+	if err := c.port.BeginOpen(); err != nil {
+		ctx.Fail("serial port open: " + err.Error())
+		return
+	}
+	d := c.startupDelay(ctx, c.params.PbcomStartup)
+	ctx.After(d, func() {
+		if err := c.port.FinishNegotiation(); err != nil {
+			ctx.Fail("serial negotiation: " + err.Error())
+			return
+		}
+		c.becomeReady(ctx)
+	})
+}
+
+func (c *pbcomComponent) Receive(ctx proc.Context, m *xmlcmd.Message) {
+	if m.Kind() == xmlcmd.KindCommand && c.ready {
+		switch m.Command.Name {
+		case "connect":
+			c.handleConnect(ctx, m)
+			return
+		case "radio-tune":
+			c.applyTune(ctx, m)
+			return
+		}
+	}
+	c.handleCommon(ctx, m)
+}
+
+// handleConnect registers a fedr connection. Seeing a new fedr incarnation
+// means the previous connection was severed; each severance ages pbcom
+// (leaked sockets, stale buffers) until it eventually fails.
+func (c *pbcomComponent) handleConnect(ctx proc.Context, m *xmlcmd.Message) {
+	incStr, _ := m.Command.Param("incarnation")
+	inc, err := strconv.Atoi(incStr)
+	if err != nil {
+		c.warnings++
+		return
+	}
+	if c.fedrInc != 0 && inc != c.fedrInc {
+		c.ageCount++
+		c.ageScore = float64(c.ageCount) / float64(c.ageLimit)
+		c.warnings++
+		if c.ageCount >= c.ageLimit {
+			ctx.Fail(fmt.Sprintf("aged out after %d severed fedr connections", c.ageCount))
+			return
+		}
+	}
+	c.fedrInc = inc
+	ctx.Send(xmlcmd.NewAck(Pbcom, m.From, c.nextSeq(), m.Seq, true, ""))
+}
+
+func (c *pbcomComponent) applyTune(ctx proc.Context, m *xmlcmd.Message) {
+	f, err := m.Command.FloatParam("freqHz")
+	if err != nil {
+		c.warnings++
+		return
+	}
+	if err := c.xcvr.BeginTune(f); err != nil {
+		c.warnings++
+		ctx.Send(xmlcmd.NewAck(Pbcom, m.From, c.nextSeq(), m.Seq, false, err.Error()))
+		return
+	}
+	ctx.After(c.params.TuneTime, func() {
+		c.xcvr.FinishTune()
+		locked := 0.0
+		if c.xcvr.Locked() {
+			locked = 1
+		}
+		ctx.Send(xmlcmd.NewTelemetry(Pbcom, Ops, c.nextSeq(), "radio_locked",
+			locked, ctx.Now()))
+	})
+	ctx.Send(xmlcmd.NewAck(Pbcom, m.From, c.nextSeq(), m.Seq, true, ""))
+}
+
+// fedrComponent is the front-end driver-radio after the split: the buggy,
+// fast-restarting command translator. It connects to pbcom over the bus at
+// startup and becomes ready once pbcom acknowledges the connection.
+type fedrComponent struct {
+	base
+	connected  bool
+	connectSeq uint64
+}
+
+// NewFedr returns a factory for the split front-end driver.
+func NewFedr(p Params) func() proc.Handler {
+	return func() proc.Handler {
+		c := &fedrComponent{}
+		c.params = p
+		return c
+	}
+}
+
+func (c *fedrComponent) Start(ctx proc.Context) {
+	d := c.startupDelay(ctx, c.params.FedrStartup)
+	ctx.After(d, func() { c.connectLoop(ctx) })
+}
+
+// connectLoop (re)sends the connect request until pbcom acknowledges.
+func (c *fedrComponent) connectLoop(ctx proc.Context) {
+	if c.connected {
+		return
+	}
+	c.connectSeq = c.nextSeq()
+	ctx.Send(xmlcmd.NewCommand(Fedr, Pbcom, c.connectSeq, "connect",
+		"incarnation", strconv.Itoa(ctx.Incarnation())))
+	ctx.After(c.params.ConnectRetransmit, func() { c.connectLoop(ctx) })
+}
+
+func (c *fedrComponent) Receive(ctx proc.Context, m *xmlcmd.Message) {
+	switch m.Kind() {
+	case xmlcmd.KindAck:
+		if m.From == Pbcom && m.Ack.OfSeq == c.connectSeq && m.Ack.OK && !c.connected {
+			c.connected = true
+			c.becomeReady(ctx)
+		}
+	case xmlcmd.KindCommand:
+		if m.Command.Name == "radio-tune" && c.ready {
+			// Translate and forward to the port proxy.
+			f, err := m.Command.FloatParam("freqHz")
+			if err != nil {
+				c.warnings++
+				return
+			}
+			ctx.Send(xmlcmd.NewCommand(Fedr, Pbcom, c.nextSeq(), "radio-tune",
+				"freqHz", formatFloat(f)))
+			ctx.Send(xmlcmd.NewAck(Fedr, m.From, c.nextSeq(), m.Seq, true, ""))
+		}
+	default:
+		c.handleCommon(ctx, m)
+	}
+}
+
+// Collector is the operations console: a telemetry sink examples and
+// experiments read link state from. It is infrastructure, not part of any
+// restart tree.
+type Collector struct {
+	latest map[string]float64
+	counts map[string]int
+}
+
+// NewCollector returns a factory producing a shared collector instance;
+// call it once and keep the pointer to query state.
+func NewCollector() *Collector {
+	return &Collector{
+		latest: make(map[string]float64),
+		counts: make(map[string]int),
+	}
+}
+
+// Handler adapts the collector to proc.Handler.
+func (c *Collector) Handler() func() proc.Handler {
+	return func() proc.Handler { return collectorHandler{c: c} }
+}
+
+// Latest returns the most recent value for a telemetry key.
+func (c *Collector) Latest(key string) (float64, bool) {
+	v, ok := c.latest[key]
+	return v, ok
+}
+
+// Count returns how many samples arrived for a key.
+func (c *Collector) Count(key string) int { return c.counts[key] }
+
+type collectorHandler struct {
+	c *Collector
+}
+
+func (h collectorHandler) Start(ctx proc.Context) { ctx.After(0, ctx.Ready) }
+
+func (h collectorHandler) Receive(ctx proc.Context, m *xmlcmd.Message) {
+	switch m.Kind() {
+	case xmlcmd.KindTelemetry:
+		h.c.latest[m.Telemetry.Key] = m.Telemetry.Value
+		h.c.counts[m.Telemetry.Key]++
+	case xmlcmd.KindPing:
+		ctx.Send(xmlcmd.NewPong(ctx.Name(), m, ctx.Incarnation()))
+	}
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,137 @@
+// Package station implements the Mercury ground-station components as
+// restartable actors: the satellite estimator (ses), satellite tracker
+// (str), radio tuner (rtu), the monolithic front-end driver (fedrcom) and
+// its split successors (fedr + pbcom).
+//
+// The components reproduce the failure-relevant behaviours the paper
+// measures:
+//
+//   - startup durations calibrated near the paper's restart times,
+//     stretched under whole-system restart contention;
+//   - the ses↔str startup resynchronisation artifact: restarting one
+//     inevitably crashes the other (f_ses ≈ f_str ≈ 0, f_{ses,str} ≈ 1);
+//   - pbcom's slow serial-port negotiation (high MTTR, high MTTF) versus
+//     fedr's quick restart but buggy translator (low MTTR, low MTTF);
+//   - pbcom aging: every severed fedr connection ages pbcom until it
+//     eventually fails — the correlated-failure tail the paper observed.
+package station
+
+import (
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/orbit"
+)
+
+// Component bus addresses re-exported for convenience.
+const (
+	MBus    = "mbus"
+	Fedrcom = "fedrcom"
+	Fedr    = "fedr"
+	Pbcom   = "pbcom"
+	SES     = "ses"
+	STR     = "str"
+	RTU     = "rtu"
+)
+
+// Params collects every tunable constant of the station simulation. The
+// defaults are calibrated so the reproduced tables land near the paper's
+// measurements (see DESIGN.md §6 and EXPERIMENTS.md).
+type Params struct {
+	// Base startup times (before contention stretch and jitter).
+	MBusStartup    time.Duration
+	FedrcomStartup time.Duration // serial negotiation + init, monolithic
+	FedrStartup    time.Duration
+	PbcomStartup   time.Duration // dominated by serial negotiation
+	SesStartup     time.Duration
+	StrStartup     time.Duration
+	RtuStartup     time.Duration
+
+	// StartupJitterFrac randomises each startup by ±frac.
+	StartupJitterFrac float64
+
+	// SyncSettle is the time ses/str take to finish resynchronising after
+	// agreeing on a session epoch.
+	SyncSettle time.Duration
+	// SyncRetransmit is the period at which a component in WAIT_SYNC
+	// re-proposes its epoch (covers losses while mbus restarts).
+	SyncRetransmit time.Duration
+
+	// ConnectRetransmit is fedr's reconnect retry period toward pbcom.
+	ConnectRetransmit time.Duration
+
+	// PbcomAgeLimit is how many severed fedr connections pbcom survives
+	// before its accumulated aging kills it (paper §4.2: "multiple fedr
+	// failures eventually lead to a pbcom failure").
+	PbcomAgeLimit int
+
+	// SerialNegotiation is the port handshake share of pbcom/fedrcom
+	// startup (informational split; the startup totals above govern).
+	SerialNegotiation time.Duration
+	// TuneTime is the radio synthesizer settle time per retune.
+	TuneTime time.Duration
+
+	// TelemetryPeriod is how often ses publishes pointing/tuning updates
+	// during a pass.
+	TelemetryPeriod time.Duration
+
+	// HealthPeriod is the health-summary beacon period (0 disables).
+	HealthPeriod time.Duration
+
+	// Elements and Ground define the tracking workload.
+	Elements orbit.Elements
+	Ground   orbit.Station
+
+	// AntennaSlewRateRad and AntennaBeamwidthRad parameterise the tracker.
+	AntennaSlewRateRad  float64
+	AntennaBeamwidthRad float64
+
+	// CarrierHz is the downlink the rtu keeps tuned (Doppler-corrected).
+	CarrierHz float64
+}
+
+// DefaultParams returns the calibrated parameter set. The epoch anchors
+// the workload satellite's elements.
+func DefaultParams(epoch time.Time) Params {
+	return Params{
+		MBusStartup:    5000 * time.Millisecond,
+		FedrcomStartup: 20200 * time.Millisecond,
+		FedrStartup:    5050 * time.Millisecond,
+		PbcomStartup:   20500 * time.Millisecond,
+		SesStartup:     3500 * time.Millisecond,
+		StrStartup:     3750 * time.Millisecond,
+		RtuStartup:     4900 * time.Millisecond,
+
+		StartupJitterFrac: 0.02,
+
+		SyncSettle:     1200 * time.Millisecond,
+		SyncRetransmit: time.Second,
+
+		ConnectRetransmit: time.Second,
+		PbcomAgeLimit:     6,
+
+		SerialNegotiation: 15500 * time.Millisecond,
+		TuneTime:          150 * time.Millisecond,
+
+		TelemetryPeriod: 2 * time.Second,
+		HealthPeriod:    5 * time.Second,
+
+		Elements: orbit.SSOElements(epoch),
+		Ground:   orbit.StanfordStation(),
+
+		AntennaSlewRateRad:  0.10, // ~5.7 deg/s, typical az/el rotator
+		AntennaBeamwidthRad: 0.30, // wide UHF yagi beam
+
+		CarrierHz: 437.1e6,
+	}
+}
+
+// MonolithicComponents lists the tree-I/II component set.
+func MonolithicComponents() []string {
+	return []string{MBus, Fedrcom, SES, STR, RTU}
+}
+
+// SplitComponents lists the component set after the fedrcom split
+// (trees III, IV, V).
+func SplitComponents() []string {
+	return []string{MBus, Fedr, Pbcom, SES, STR, RTU}
+}

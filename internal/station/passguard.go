@@ -1,0 +1,62 @@
+package station
+
+import (
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/clock"
+	"github.com/recursive-restart/mercury/internal/orbit"
+)
+
+// PassGuard decides when proactive downtime is acceptable (§5.2: downtime
+// during a satellite pass is very expensive, between passes it is cheap).
+// Plug its Idle method into core.RECParams.IdleCheck so the rejuvenation
+// policy only restarts aging components between passes, with a safety
+// margin before each AOS so a slow restart (pbcom, ~21 s) finishes before
+// the satellite rises.
+type PassGuard struct {
+	clk    clock.Clock
+	passes []orbit.Pass
+	// Margin is the keep-quiet lead time before each AOS.
+	Margin time.Duration
+}
+
+// NewPassGuard predicts the passes in [from, from+horizon] and returns a
+// guard over them.
+func NewPassGuard(clk clock.Clock, el orbit.Elements, ground orbit.Station,
+	from time.Time, horizon time.Duration, minElevationRad float64, margin time.Duration) (*PassGuard, error) {
+	passes, err := orbit.PredictPasses(el, ground, from, horizon, minElevationRad)
+	if err != nil {
+		return nil, err
+	}
+	return &PassGuard{clk: clk, passes: passes, Margin: margin}, nil
+}
+
+// Idle reports whether proactive downtime is acceptable right now: the
+// station is outside every pass window (including the pre-AOS margin).
+func (g *PassGuard) Idle() bool {
+	now := g.clk.Now()
+	for _, p := range g.passes {
+		if !now.Before(p.AOS.Add(-g.Margin)) && !now.After(p.LOS) {
+			return false
+		}
+	}
+	return true
+}
+
+// NextPass returns the next upcoming pass after now, if any.
+func (g *PassGuard) NextPass() (orbit.Pass, bool) {
+	now := g.clk.Now()
+	for _, p := range g.passes {
+		if p.AOS.After(now) {
+			return p, true
+		}
+	}
+	return orbit.Pass{}, false
+}
+
+// Passes returns the predicted windows (copy).
+func (g *PassGuard) Passes() []orbit.Pass {
+	out := make([]orbit.Pass, len(g.passes))
+	copy(out, g.passes)
+	return out
+}

@@ -1,0 +1,68 @@
+package station
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/clock"
+	"github.com/recursive-restart/mercury/internal/orbit"
+	"github.com/recursive-restart/mercury/internal/sim"
+)
+
+func TestPassGuard(t *testing.T) {
+	k := sim.New(3)
+	clk := clock.Sim{K: k}
+	el := orbit.SSOElements(k.Now())
+	ground := orbit.StanfordStation()
+	guard, err := NewPassGuard(clk, el, ground, k.Now(), 24*time.Hour,
+		5*math.Pi/180, 30*time.Second)
+	if err != nil {
+		t.Fatalf("NewPassGuard: %v", err)
+	}
+	passes := guard.Passes()
+	if len(passes) == 0 {
+		t.Fatal("no passes predicted")
+	}
+
+	next, ok := guard.NextPass()
+	if !ok {
+		t.Fatal("no next pass")
+	}
+
+	// Now (long before the first pass): idle.
+	if !guard.Idle() {
+		t.Fatal("not idle before the first pass")
+	}
+
+	// Inside the pre-AOS margin: busy.
+	_ = k.RunUntil(next.AOS.Add(-10 * time.Second))
+	if guard.Idle() {
+		t.Fatal("idle within the pre-AOS margin")
+	}
+
+	// Mid-pass: busy.
+	_ = k.RunUntil(next.AOS.Add(next.Duration() / 2))
+	if guard.Idle() {
+		t.Fatal("idle mid-pass")
+	}
+
+	// Just after LOS: idle again, and NextPass advances.
+	_ = k.RunUntil(next.LOS.Add(time.Second))
+	if !guard.Idle() {
+		t.Fatal("not idle after LOS")
+	}
+	after, ok := guard.NextPass()
+	if ok && !after.AOS.After(next.LOS) {
+		t.Fatal("NextPass did not advance past the finished pass")
+	}
+}
+
+func TestPassGuardRejectsBadElements(t *testing.T) {
+	k := sim.New(3)
+	bad := orbit.Elements{SemiMajorKm: 100, Epoch: k.Now()}
+	if _, err := NewPassGuard(clock.Sim{K: k}, bad, orbit.StanfordStation(),
+		k.Now(), time.Hour, 0.1, 0); err == nil {
+		t.Fatal("bad elements accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package station
+
+import (
+	"fmt"
+
+	"github.com/recursive-restart/mercury/internal/bus"
+	"github.com/recursive-restart/mercury/internal/proc"
+)
+
+// Layout selects which component decomposition to build.
+type Layout int
+
+// Layouts.
+const (
+	// Monolithic is the original station: fedrcom as one process
+	// (trees I and II).
+	Monolithic Layout = iota + 1
+	// Split is the station after the fedrcom split into fedr + pbcom
+	// (trees III, IV and V).
+	Split
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case Monolithic:
+		return "monolithic"
+	case Split:
+		return "split"
+	default:
+		return fmt.Sprintf("layout(%d)", int(l))
+	}
+}
+
+// Components returns the component set of the layout.
+func (l Layout) Components() ([]string, error) {
+	switch l {
+	case Monolithic:
+		return MonolithicComponents(), nil
+	case Split:
+		return SplitComponents(), nil
+	default:
+		return nil, fmt.Errorf("station: unknown layout %d", int(l))
+	}
+}
+
+// Register registers the station's components with the manager and returns
+// their names. The caller starts them (typically with StartBatch, which is
+// itself the initial whole-system boot).
+func Register(mgr *proc.Manager, p Params, layout Layout) ([]string, error) {
+	if p.AntennaSlewRateRad <= 0 {
+		return nil, fmt.Errorf("station: antenna slew rate must be positive")
+	}
+	names, err := layout.Components()
+	if err != nil {
+		return nil, err
+	}
+	if err := mgr.Register(MBus, bus.BrokerHandler(p.MBusStartup)); err != nil {
+		return nil, err
+	}
+	switch layout {
+	case Monolithic:
+		if err := mgr.Register(Fedrcom, NewFedrcom(p)); err != nil {
+			return nil, err
+		}
+		if err := mgr.Register(RTU, NewRTU(p, Fedrcom)); err != nil {
+			return nil, err
+		}
+	case Split:
+		if err := mgr.Register(Fedr, NewFedr(p)); err != nil {
+			return nil, err
+		}
+		if err := mgr.Register(Pbcom, NewPbcom(p)); err != nil {
+			return nil, err
+		}
+		if err := mgr.Register(RTU, NewRTU(p, Fedr)); err != nil {
+			return nil, err
+		}
+	}
+	if err := mgr.Register(SES, NewSES(p)); err != nil {
+		return nil, err
+	}
+	if err := mgr.Register(STR, NewSTR(p)); err != nil {
+		return nil, err
+	}
+	return names, nil
+}

@@ -1,0 +1,117 @@
+package station
+
+import (
+	"fmt"
+
+	"github.com/recursive-restart/mercury/internal/proc"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// syncCore implements the ses↔str startup-resynchronisation protocol.
+//
+// The paper (§4.3): the two components "synchronize with each other at
+// startup and, when either is restarted, the other will inevitably have to
+// be restarted as well. When restarted, both ses and str block waiting for
+// the peer component to resynchronize." That is:
+//
+//   - A freshly started component proposes a new session epoch to its peer
+//     and blocks (WAIT_SYNC) until the epoch is agreed.
+//   - A peer that is itself starting adopts the larger epoch: both settle
+//     and become ready.
+//   - A peer that is already running sees an epoch it cannot adopt and
+//     crashes — the induced correlated failure (f_ses ≈ f_str ≈ 0,
+//     f_{ses,str} ≈ 1) that motivates group consolidation.
+//
+// Proposals are retransmitted until acknowledged so the handshake survives
+// message loss (e.g. while mbus is itself restarting).
+type syncCore struct {
+	base
+	peer string
+
+	myEpoch    int64
+	peerEpoch  int64 // proposal buffered while still initialising
+	inWaitSync bool
+	synced     bool
+}
+
+// enterWaitSync is called when base initialisation finishes.
+func (s *syncCore) enterWaitSync(ctx proc.Context) {
+	s.inWaitSync = true
+	s.myEpoch = ctx.Rand().Int63()
+	if s.peerEpoch != 0 {
+		// The peer proposed while we were initialising; agree now.
+		s.agree(ctx, maxInt64(s.myEpoch, s.peerEpoch))
+		ctx.Send(xmlcmd.NewSyncAck(ctx.Name(), s.peer, s.nextSeq(), s.myEpoch))
+		return
+	}
+	s.sendSync(ctx)
+	s.retransmitLoop(ctx)
+}
+
+// sendSync proposes the current epoch to the peer.
+func (s *syncCore) sendSync(ctx proc.Context) {
+	ctx.Send(xmlcmd.NewSync(ctx.Name(), s.peer, s.nextSeq(), s.myEpoch))
+}
+
+// retransmitLoop re-proposes until synced; the timer dies with the
+// incarnation automatically.
+func (s *syncCore) retransmitLoop(ctx proc.Context) {
+	ctx.After(s.params.SyncRetransmit, func() {
+		if s.synced {
+			return
+		}
+		s.sendSync(ctx)
+		s.retransmitLoop(ctx)
+	})
+}
+
+// agree adopts the winning epoch and schedules readiness after the settle
+// time.
+func (s *syncCore) agree(ctx proc.Context, epoch int64) {
+	s.myEpoch = epoch
+	s.synced = true
+	ctx.After(s.params.SyncSettle, func() { s.becomeReady(ctx) })
+}
+
+// handleSync processes a peer proposal.
+func (s *syncCore) handleSync(ctx proc.Context, m *xmlcmd.Message) {
+	e := m.Sync.Epoch
+	switch {
+	case s.ready:
+		if e != s.myEpoch {
+			// A running component cannot resynchronise with a restarted
+			// peer: the failure the paper observed. The restart of the
+			// peer thereby induces this component's failure.
+			ctx.Fail(fmt.Sprintf("resynchronization with restarted %s failed (epoch %d != %d)",
+				s.peer, e, s.myEpoch))
+			return
+		}
+		// Same epoch: duplicate proposal; re-acknowledge.
+		ctx.Send(xmlcmd.NewSyncAck(ctx.Name(), s.peer, s.nextSeq(), s.myEpoch))
+	case s.inWaitSync && !s.synced:
+		winner := maxInt64(s.myEpoch, e)
+		s.agree(ctx, winner)
+		ctx.Send(xmlcmd.NewSyncAck(ctx.Name(), s.peer, s.nextSeq(), winner))
+	case s.inWaitSync && s.synced:
+		// Settling; the peer may have missed the ack.
+		ctx.Send(xmlcmd.NewSyncAck(ctx.Name(), s.peer, s.nextSeq(), s.myEpoch))
+	default:
+		// Still initialising: buffer and answer on WAIT_SYNC entry.
+		s.peerEpoch = e
+	}
+}
+
+// handleSyncAck processes the peer's acceptance.
+func (s *syncCore) handleSyncAck(ctx proc.Context, m *xmlcmd.Message) {
+	if s.inWaitSync && !s.synced {
+		s.agree(ctx, m.SyncAck.Epoch)
+	}
+	// Duplicate or late acks are ignored.
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,187 @@
+// Package trace records the structured event log that experiments measure
+// recovery time from. The paper defines recovery time as the interval from
+// the instant a failure occurs (the SIGKILL, not its detection) until the
+// component logs a timestamped "functionally ready" message; this package
+// is that log.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+// Trace event kinds.
+const (
+	// FaultInjected marks the instant a fault is delivered to a component.
+	// Downtime starts here (paper §3.2).
+	FaultInjected Kind = iota + 1
+	// ComponentDown marks the instant a component actually stops serving.
+	ComponentDown
+	// FailureDetected marks FD reporting a failed component to REC.
+	FailureDetected
+	// RestartRequested marks REC deciding to push a restart-cell button.
+	RestartRequested
+	// ComponentKilled marks a component being torn down as part of a
+	// restart action.
+	ComponentKilled
+	// ComponentStarting marks the beginning of a component's startup.
+	ComponentStarting
+	// ComponentReady marks the component's "functionally ready" log line.
+	ComponentReady
+	// FaultCured marks a fault's minimal cure set having been restarted.
+	FaultCured
+	// SystemRecovered marks all components ready with no active fault.
+	SystemRecovered
+	// OracleGuess records which node the oracle recommended.
+	OracleGuess
+	// GiveUp marks the restart policy abandoning a "hard" failure after
+	// exhausting its restart budget.
+	GiveUp
+	// Note is free-form annotation.
+	Note
+)
+
+var kindNames = map[Kind]string{
+	FaultInjected:     "fault-injected",
+	ComponentDown:     "component-down",
+	FailureDetected:   "failure-detected",
+	RestartRequested:  "restart-requested",
+	ComponentKilled:   "component-killed",
+	ComponentStarting: "component-starting",
+	ComponentReady:    "component-ready",
+	FaultCured:        "fault-cured",
+	SystemRecovered:   "system-recovered",
+	OracleGuess:       "oracle-guess",
+	GiveUp:            "give-up",
+	Note:              "note",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one timestamped record.
+type Event struct {
+	At        time.Time
+	Kind      Kind
+	Component string // affected component, if any
+	Node      string // restart-tree node, if any
+	Detail    string
+}
+
+// String renders one log line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %-18s", e.At.Format("15:04:05.000"), e.Kind)
+	if e.Component != "" {
+		s += " comp=" + e.Component
+	}
+	if e.Node != "" {
+		s += " node=" + e.Node
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Log is an append-only event log, safe for concurrent use so it serves
+// both the single-threaded simulator and the real-time runtime.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+	subs   []func(Event)
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Append records an event and fans it out to subscribers.
+func (l *Log) Append(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	subs := l.subs
+	l.mu.Unlock()
+	for _, fn := range subs {
+		fn(e)
+	}
+}
+
+// Add is shorthand for Append with the common fields.
+func (l *Log) Add(at time.Time, k Kind, component, node, detail string) {
+	l.Append(Event{At: at, Kind: k, Component: component, Node: node, Detail: detail})
+}
+
+// Subscribe registers fn to be called for every future event. Subscribers
+// run on the appender's context and must be fast and non-blocking.
+func (l *Log) Subscribe(fn func(Event)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.subs = append(l.subs, fn)
+}
+
+// Events returns a copy of all recorded events.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Reset discards all recorded events but keeps subscribers.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = l.events[:0]
+}
+
+// Filter returns the events matching pred, in order.
+func (l *Log) Filter(pred func(Event) bool) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for _, e := range l.events {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LastRecovery returns the duration between the most recent FaultInjected
+// event and the first SystemRecovered event after it, which is the paper's
+// definition of time-to-recover. ok is false if no such pair exists.
+func (l *Log) LastRecovery() (d time.Duration, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var injectedAt time.Time
+	haveInjected := false
+	for _, e := range l.events {
+		switch e.Kind {
+		case FaultInjected:
+			injectedAt = e.At
+			haveInjected = true
+		case SystemRecovered:
+			if haveInjected {
+				d, ok = e.At.Sub(injectedAt), true
+				haveInjected = false
+			}
+		}
+	}
+	return d, ok
+}

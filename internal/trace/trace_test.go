@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2002, 6, 23, 10, 0, 0, 0, time.UTC)
+
+func TestAppendAndEvents(t *testing.T) {
+	l := NewLog()
+	l.Add(t0, FaultInjected, "rtu", "", "kill")
+	l.Add(t0.Add(time.Second), FailureDetected, "rtu", "", "")
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	evs := l.Events()
+	if evs[0].Kind != FaultInjected || evs[1].Component != "rtu" {
+		t.Fatalf("events = %+v", evs)
+	}
+	// Events must be a copy.
+	evs[0].Component = "mutated"
+	if l.Events()[0].Component != "rtu" {
+		t.Fatal("Events exposed internal state")
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	l := NewLog()
+	var got []Event
+	l.Subscribe(func(e Event) { got = append(got, e) })
+	l.Add(t0, Note, "", "", "hello")
+	if len(got) != 1 || got[0].Detail != "hello" {
+		t.Fatalf("subscriber got %+v", got)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := NewLog()
+	l.Add(t0, FaultInjected, "a", "", "")
+	l.Add(t0, ComponentReady, "a", "", "")
+	l.Add(t0, ComponentReady, "b", "", "")
+	ready := l.Filter(func(e Event) bool { return e.Kind == ComponentReady })
+	if len(ready) != 2 {
+		t.Fatalf("filtered %d events, want 2", len(ready))
+	}
+}
+
+func TestLastRecovery(t *testing.T) {
+	l := NewLog()
+	if _, ok := l.LastRecovery(); ok {
+		t.Fatal("empty log reported a recovery")
+	}
+	l.Add(t0, FaultInjected, "rtu", "", "")
+	if _, ok := l.LastRecovery(); ok {
+		t.Fatal("unrecovered fault reported recovery")
+	}
+	l.Add(t0.Add(5*time.Second), SystemRecovered, "", "", "")
+	d, ok := l.LastRecovery()
+	if !ok || d != 5*time.Second {
+		t.Fatalf("recovery = %v, %v", d, ok)
+	}
+	// A later fault supersedes; its recovery is the one measured.
+	l.Add(t0.Add(time.Minute), FaultInjected, "ses", "", "")
+	l.Add(t0.Add(time.Minute+9*time.Second), SystemRecovered, "", "", "")
+	d, ok = l.LastRecovery()
+	if !ok || d != 9*time.Second {
+		t.Fatalf("second recovery = %v, %v", d, ok)
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := NewLog()
+	l.Add(t0, Note, "", "", "")
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	// Subscribers survive reset.
+	n := 0
+	l.Subscribe(func(Event) { n++ })
+	l.Reset()
+	l.Add(t0, Note, "", "", "")
+	if n != 1 {
+		t.Fatal("subscriber lost after Reset")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: t0, Kind: RestartRequested, Component: "ses", Node: "[ses str]", Detail: "escalation"}
+	s := e.String()
+	for _, want := range []string{"restart-requested", "comp=ses", "node=[ses str]", "escalation"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if FaultInjected.String() != "fault-injected" {
+		t.Fatal("kind name mismatch")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind should include number")
+	}
+}

@@ -1,0 +1,371 @@
+// Package xmlcmd implements Mercury's high-level XML command language.
+//
+// All inter-component traffic in the ground station — liveness pings,
+// radio-tuning commands, antenna-pointing commands, satellite state
+// telemetry, startup-resynchronisation handshakes and component health
+// beacons — is carried as XML messages of this vocabulary over the software
+// message bus (see internal/bus). A successful application-level reply
+// indicates liveness with higher confidence than a network-level ping,
+// which is exactly the property the paper's failure detector relies on.
+package xmlcmd
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Well-known component addresses on the bus.
+const (
+	AddrMBus    = "mbus"
+	AddrFedrcom = "fedrcom"
+	AddrFedr    = "fedr"
+	AddrPbcom   = "pbcom"
+	AddrSES     = "ses"
+	AddrSTR     = "str"
+	AddrRTU     = "rtu"
+	AddrFD      = "fd"
+	AddrREC     = "rec"
+)
+
+// Kind identifies the body carried by a Message.
+type Kind int
+
+// Message kinds. The zero value is invalid so that a forgotten body is
+// caught by Validate.
+const (
+	KindInvalid Kind = iota
+	KindPing
+	KindPong
+	KindCommand
+	KindAck
+	KindTelemetry
+	KindEvent
+	KindSync
+	KindSyncAck
+	KindHealth
+)
+
+var kindNames = map[Kind]string{
+	KindInvalid:   "invalid",
+	KindPing:      "ping",
+	KindPong:      "pong",
+	KindCommand:   "command",
+	KindAck:       "ack",
+	KindTelemetry: "telemetry",
+	KindEvent:     "event",
+	KindSync:      "sync",
+	KindSyncAck:   "syncack",
+	KindHealth:    "health",
+}
+
+// String returns the element name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// Validation errors.
+var (
+	ErrNoBody        = errors.New("xmlcmd: message has no body")
+	ErrMultipleBody  = errors.New("xmlcmd: message has more than one body")
+	ErrMissingFrom   = errors.New("xmlcmd: missing from attribute")
+	ErrMissingTo     = errors.New("xmlcmd: missing to attribute")
+	ErrEmptyCommand  = errors.New("xmlcmd: command with empty name")
+	ErrEmptyEvent    = errors.New("xmlcmd: event with empty name")
+	ErrBadTelemetry  = errors.New("xmlcmd: telemetry with empty key")
+	ErrFrameTooLarge = errors.New("xmlcmd: frame exceeds maximum size")
+)
+
+// Message is the envelope of the XML command language. Exactly one body
+// pointer must be non-nil.
+type Message struct {
+	XMLName xml.Name `xml:"message"`
+
+	// From and To are bus addresses.
+	From string `xml:"from,attr"`
+	To   string `xml:"to,attr"`
+	// Seq is a sender-scoped sequence number used to pair requests with
+	// replies (ping/pong, command/ack).
+	Seq uint64 `xml:"seq,attr"`
+
+	Ping      *Ping      `xml:"ping"`
+	Pong      *Pong      `xml:"pong"`
+	Command   *Command   `xml:"command"`
+	Ack       *Ack       `xml:"ack"`
+	Telemetry *Telemetry `xml:"telemetry"`
+	Event     *Event     `xml:"event"`
+	Sync      *Sync      `xml:"sync"`
+	SyncAck   *SyncAck   `xml:"syncack"`
+	Health    *Health    `xml:"health"`
+}
+
+// Ping is an application-level liveness probe ("are you alive?").
+type Ping struct {
+	// Nonce is echoed back in the Pong so stale replies are discarded.
+	Nonce uint64 `xml:"nonce,attr"`
+}
+
+// Pong is the reply to a Ping. A component only answers once functionally
+// ready, so a Pong certifies end-to-end application liveness.
+type Pong struct {
+	Nonce uint64 `xml:"nonce,attr"`
+	// Incarnation is the responder's restart generation, letting the
+	// failure detector distinguish a recovered instance from a stale one.
+	Incarnation int `xml:"incarnation,attr"`
+}
+
+// Command is a high-level ground-station command (tune, point, track, …).
+type Command struct {
+	Name   string  `xml:"name,attr"`
+	Params []Param `xml:"param"`
+}
+
+// Param is a named command argument.
+type Param struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// Ack acknowledges a Command, reporting success or an error string.
+type Ack struct {
+	OfSeq uint64 `xml:"of,attr"`
+	OK    bool   `xml:"ok,attr"`
+	Error string `xml:"error,attr,omitempty"`
+}
+
+// Telemetry is a stream sample (antenna angles, radio frequency, satellite
+// range, science data counters, …).
+type Telemetry struct {
+	Key   string  `xml:"key,attr"`
+	Value float64 `xml:"value,attr"`
+	// AtUnixMilli stamps the sample; XML attributes carry the unit in the
+	// name because encoding/xml has no native time.Duration support.
+	AtUnixMilli int64 `xml:"atUnixMilli,attr"`
+}
+
+// At returns the sample instant.
+func (t *Telemetry) At() time.Time { return time.UnixMilli(t.AtUnixMilli) }
+
+// Event is an asynchronous notification (pass start, link lost, …).
+type Event struct {
+	Name   string  `xml:"name,attr"`
+	Detail string  `xml:"detail,attr,omitempty"`
+	Params []Param `xml:"param"`
+}
+
+// Sync is the startup-resynchronisation handshake used by the ses/str pair.
+// A freshly started component proposes a new session epoch; a peer that is
+// itself (re)starting adopts it, while a running peer with a different
+// epoch cannot resynchronise and fails — the correlated-failure artifact
+// the paper's group consolidation addresses.
+type Sync struct {
+	Epoch int64 `xml:"epoch,attr"`
+}
+
+// SyncAck accepts a proposed session epoch.
+type SyncAck struct {
+	Epoch int64 `xml:"epoch,attr"`
+}
+
+// Health is a component health-summary beacon (paper §7): a digest of
+// internal metrics that has not yet caused a failure.
+type Health struct {
+	Incarnation int     `xml:"incarnation,attr"`
+	UptimeMs    int64   `xml:"uptimeMs,attr"`
+	QueueDepth  int     `xml:"queueDepth,attr"`
+	AgeScore    float64 `xml:"ageScore,attr"`
+	Warnings    int     `xml:"warnings,attr"`
+	Suspect     bool    `xml:"suspect,attr"`
+}
+
+// Kind reports which body the message carries, or KindInvalid if none.
+func (m *Message) Kind() Kind {
+	switch {
+	case m.Ping != nil:
+		return KindPing
+	case m.Pong != nil:
+		return KindPong
+	case m.Command != nil:
+		return KindCommand
+	case m.Ack != nil:
+		return KindAck
+	case m.Telemetry != nil:
+		return KindTelemetry
+	case m.Event != nil:
+		return KindEvent
+	case m.Sync != nil:
+		return KindSync
+	case m.SyncAck != nil:
+		return KindSyncAck
+	case m.Health != nil:
+		return KindHealth
+	}
+	return KindInvalid
+}
+
+// bodyCount returns how many bodies are set.
+func (m *Message) bodyCount() int {
+	n := 0
+	for _, set := range []bool{
+		m.Ping != nil, m.Pong != nil, m.Command != nil, m.Ack != nil,
+		m.Telemetry != nil, m.Event != nil, m.Sync != nil,
+		m.SyncAck != nil, m.Health != nil,
+	} {
+		if set {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks that the envelope is well formed: addressed, and carrying
+// exactly one body with its required fields.
+func (m *Message) Validate() error {
+	if m.From == "" {
+		return ErrMissingFrom
+	}
+	if m.To == "" {
+		return ErrMissingTo
+	}
+	switch n := m.bodyCount(); {
+	case n == 0:
+		return ErrNoBody
+	case n > 1:
+		return ErrMultipleBody
+	}
+	switch m.Kind() {
+	case KindCommand:
+		if m.Command.Name == "" {
+			return ErrEmptyCommand
+		}
+	case KindEvent:
+		if m.Event.Name == "" {
+			return ErrEmptyEvent
+		}
+	case KindTelemetry:
+		if m.Telemetry.Key == "" {
+			return ErrBadTelemetry
+		}
+	}
+	return nil
+}
+
+// String renders a compact one-line description for traces and logs.
+func (m *Message) String() string {
+	return fmt.Sprintf("%s->%s %s#%d", m.From, m.To, m.Kind(), m.Seq)
+}
+
+// MaxFrame is the largest encoded message the codec accepts; anything
+// larger indicates corruption or abuse.
+const MaxFrame = 64 * 1024
+
+// Encode marshals the message to its XML wire form after validating it.
+func Encode(m *Message) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := xml.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("xmlcmd: marshal: %w", err)
+	}
+	if len(b) > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	return b, nil
+}
+
+// Decode parses and validates a message from its XML wire form.
+func Decode(b []byte) (*Message, error) {
+	if len(b) > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	var m Message
+	if err := xml.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("xmlcmd: unmarshal: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// NewPing builds a liveness probe.
+func NewPing(from, to string, seq, nonce uint64) *Message {
+	return &Message{From: from, To: to, Seq: seq, Ping: &Ping{Nonce: nonce}}
+}
+
+// NewPong builds the reply to ping.
+func NewPong(from string, ping *Message, incarnation int) *Message {
+	return &Message{
+		From: from,
+		To:   ping.From,
+		Seq:  ping.Seq,
+		Pong: &Pong{Nonce: ping.Ping.Nonce, Incarnation: incarnation},
+	}
+}
+
+// NewCommand builds a command message; params are alternating key, value
+// pairs.
+func NewCommand(from, to string, seq uint64, name string, params ...string) *Message {
+	c := &Command{Name: name}
+	for i := 0; i+1 < len(params); i += 2 {
+		c.Params = append(c.Params, Param{Key: params[i], Value: params[i+1]})
+	}
+	return &Message{From: from, To: to, Seq: seq, Command: c}
+}
+
+// NewAck acknowledges command seq ofSeq.
+func NewAck(from, to string, seq, ofSeq uint64, ok bool, errStr string) *Message {
+	return &Message{From: from, To: to, Seq: seq, Ack: &Ack{OfSeq: ofSeq, OK: ok, Error: errStr}}
+}
+
+// NewTelemetry builds a telemetry sample.
+func NewTelemetry(from, to string, seq uint64, key string, value float64, at time.Time) *Message {
+	return &Message{
+		From: from, To: to, Seq: seq,
+		Telemetry: &Telemetry{Key: key, Value: value, AtUnixMilli: at.UnixMilli()},
+	}
+}
+
+// NewEvent builds an event notification.
+func NewEvent(from, to string, seq uint64, name, detail string) *Message {
+	return &Message{From: from, To: to, Seq: seq, Event: &Event{Name: name, Detail: detail}}
+}
+
+// NewSync builds a startup resynchronisation proposal.
+func NewSync(from, to string, seq uint64, epoch int64) *Message {
+	return &Message{From: from, To: to, Seq: seq, Sync: &Sync{Epoch: epoch}}
+}
+
+// NewSyncAck accepts a resynchronisation proposal.
+func NewSyncAck(from, to string, seq uint64, epoch int64) *Message {
+	return &Message{From: from, To: to, Seq: seq, SyncAck: &SyncAck{Epoch: epoch}}
+}
+
+// Param looks up a command parameter by key.
+func (c *Command) Param(key string) (string, bool) {
+	for _, p := range c.Params {
+		if p.Key == key {
+			return p.Value, true
+		}
+	}
+	return "", false
+}
+
+// FloatParam looks up a command parameter and parses it as float64.
+func (c *Command) FloatParam(key string) (float64, error) {
+	v, ok := c.Param(key)
+	if !ok {
+		return 0, fmt.Errorf("xmlcmd: command %q missing param %q", c.Name, key)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("xmlcmd: command %q param %q: %w", c.Name, key, err)
+	}
+	return f, nil
+}

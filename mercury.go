@@ -1,0 +1,361 @@
+// Package mercury is a recursively restartable satellite ground station —
+// a full reproduction of "Reducing Recovery Time in a Small Recursively
+// Restartable System" (Candea, Cutler, Fox, Doshi, Garg, Gowda; DSN 2002).
+//
+// A System bundles the deterministic simulation kernel, the ground-station
+// components (mbus, ses, str, rtu, and fedrcom or its split fedr + pbcom),
+// the fault-injection board, the failure detector (FD), the recoverer
+// (REC) and a restart tree with its oracle. The five restart trees of the
+// paper (I–V) and the three tree transformations (depth augmentation,
+// group consolidation, node promotion) are available through the Tree and
+// Policy options.
+//
+// Quick start:
+//
+//	sys, err := mercury.NewSystem(mercury.Config{Seed: 1, TreeName: "IV"})
+//	...
+//	sys.Boot()
+//	d, err := sys.MeasureRecovery(mercury.Fault{Component: "rtu"}, time.Minute)
+//	fmt.Printf("recovered in %v\n", d)
+package mercury
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/bus"
+	"github.com/recursive-restart/mercury/internal/clock"
+	"github.com/recursive-restart/mercury/internal/core"
+	"github.com/recursive-restart/mercury/internal/fault"
+	"github.com/recursive-restart/mercury/internal/proc"
+	"github.com/recursive-restart/mercury/internal/sim"
+	"github.com/recursive-restart/mercury/internal/station"
+	"github.com/recursive-restart/mercury/internal/trace"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// Policy selects the restart policy (the oracle).
+type Policy int
+
+// Policies.
+const (
+	// PolicyEscalating is the realistic default: restart the failed
+	// component's cell, then walk up the tree while the failure persists.
+	PolicyEscalating Policy = iota + 1
+	// PolicyPerfect embodies the paper's A_oracle: the minimal restart is
+	// always recommended (consults the fault board, an experimental
+	// device).
+	PolicyPerfect
+	// PolicyFaulty guesses too low with probability Config.FaultyP
+	// (paper §4.4 uses 0.30).
+	PolicyFaulty
+	// PolicyLearning estimates cure probabilities from restart outcomes
+	// and converges toward the minimal policy (paper §7 future work).
+	PolicyLearning
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyEscalating:
+		return "escalating"
+	case PolicyPerfect:
+		return "perfect"
+	case PolicyFaulty:
+		return "faulty"
+	case PolicyLearning:
+		return "learning"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config parameterises a System.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// TreeName picks the restart tree: "I", "II", "IIp", "III", "IV", "V".
+	// Trees I and II imply the monolithic fedrcom layout; the rest use the
+	// split layout. Default "IV".
+	TreeName string
+	// Policy picks the oracle; default PolicyEscalating.
+	Policy Policy
+	// FaultyP is the guess-too-low probability for PolicyFaulty.
+	FaultyP float64
+	// Params overrides the station parameters; nil means calibrated
+	// defaults.
+	Params *station.Params
+	// FDParams / RECParams override detector and recoverer settings.
+	FDParams  *core.FDParams
+	RECParams *core.RECParams
+	// DisableRecovery builds the station without FD/REC (for baselines
+	// that model the pre-RR, operator-driven Mercury).
+	DisableRecovery bool
+}
+
+// Fault describes a failure to inject.
+type Fault struct {
+	// Component is where the failure manifests (fail-silent).
+	Component string
+	// Cure is the minimal set of components whose joint restart cures it;
+	// empty means the component alone.
+	Cure []string
+	// Hard marks a failure no restart can cure.
+	Hard bool
+	// Hang delivers the failure as a hang (spin/livelock) instead of a
+	// crash; both look identical to the failure detector.
+	Hang bool
+}
+
+// System is a fully wired, simulated Mercury ground station.
+type System struct {
+	Kernel    *sim.Kernel
+	Clock     clock.Clock
+	Mgr       *proc.Manager
+	Bus       *bus.Sim
+	Board     *fault.Board
+	Injector  *fault.Injector
+	Log       *trace.Log
+	Trees     map[string]*core.Tree
+	Tree      *core.Tree
+	Oracle    core.Oracle
+	REC       *core.RECHandle
+	Collector *station.Collector
+	Params    station.Params
+
+	components []string
+	booted     bool
+	armed      bool // a failure is outstanding; recovery not yet logged
+}
+
+// Errors.
+var (
+	ErrUnknownTree = errors.New("mercury: unknown tree name")
+	ErrNotBooted   = errors.New("mercury: system not booted")
+	ErrNoRecovery  = errors.New("mercury: system did not recover before the deadline")
+)
+
+// FDName and RECName are the infrastructure process addresses.
+const (
+	FDName  = xmlcmd.AddrFD
+	RECName = xmlcmd.AddrREC
+)
+
+// NewSystem builds a simulated station per the config. Call Boot next.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.TreeName == "" {
+		cfg.TreeName = "IV"
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = PolicyEscalating
+	}
+
+	k := sim.New(cfg.Seed)
+	clk := clock.Sim{K: k}
+	log := trace.NewLog()
+	mgr := proc.NewManager(clk, k.Rand(), log)
+	b := bus.NewSim(clk, mgr, station.MBus)
+	mgr.SetTransport(b)
+	board := fault.NewBoard(clk, mgr, log)
+	injector := fault.NewInjector(clk, mgr, board)
+
+	params := station.DefaultParams(k.Now())
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+
+	trees, err := core.MercuryTrees(station.MonolithicComponents(), station.SplitComponents())
+	if err != nil {
+		return nil, err
+	}
+	tree, ok := trees[cfg.TreeName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTree, cfg.TreeName)
+	}
+	layout := station.Split
+	if cfg.TreeName == "I" || cfg.TreeName == "II" {
+		layout = station.Monolithic
+	}
+
+	comps, err := station.Register(mgr, params, layout)
+	if err != nil {
+		return nil, err
+	}
+	coll := station.NewCollector()
+	if err := mgr.Register(station.Ops, coll.Handler()); err != nil {
+		return nil, err
+	}
+
+	sys := &System{
+		Kernel:     k,
+		Clock:      clk,
+		Mgr:        mgr,
+		Bus:        b,
+		Board:      board,
+		Injector:   injector,
+		Log:        log,
+		Trees:      trees,
+		Tree:       tree,
+		Collector:  coll,
+		Params:     params,
+		components: comps,
+	}
+
+	if !cfg.DisableRecovery {
+		oracle, err := sys.buildOracle(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sys.Oracle = oracle
+
+		fdParams := core.DefaultFDParams()
+		if cfg.FDParams != nil {
+			fdParams = *cfg.FDParams
+		}
+		recParams := core.DefaultRECParams()
+		if cfg.RECParams != nil {
+			recParams = *cfg.RECParams
+		}
+		restartFD := func() {
+			if st, _ := mgr.State(FDName); st != proc.Starting {
+				_ = mgr.Restart([]string{FDName})
+			}
+		}
+		restartREC := func() {
+			if st, _ := mgr.State(RECName); st != proc.Starting {
+				_ = mgr.Restart([]string{RECName})
+			}
+		}
+		recFactory, handle := core.NewREC(recParams, tree, oracle, mgr, restartFD)
+		sys.REC = handle
+		if err := mgr.Register(RECName, recFactory); err != nil {
+			return nil, err
+		}
+		if err := mgr.Register(FDName, core.NewFD(fdParams, comps, station.MBus, restartREC)); err != nil {
+			return nil, err
+		}
+		b.AddDirectLink(FDName, RECName)
+	}
+
+	// Recovery monitor: registered after the fault board (whose silencing
+	// listener must run first) and after REC's bookkeeping. A_entire: any
+	// component failure makes the whole system unavailable; recovery is
+	// complete when every component serves and no fault is active.
+	mgr.OnDown(func(string, string) { sys.armed = true })
+	mgr.OnReady(func(string) {
+		if sys.armed && mgr.AllServing(sys.components...) && board.ActiveCount() == 0 {
+			sys.armed = false
+			log.Add(clk.Now(), trace.SystemRecovered, "", "", "all components serving")
+		}
+	})
+
+	return sys, nil
+}
+
+// buildOracle constructs the configured policy.
+func (s *System) buildOracle(cfg Config) (core.Oracle, error) {
+	switch cfg.Policy {
+	case PolicyEscalating:
+		return core.EscalatingOracle{}, nil
+	case PolicyPerfect:
+		return core.PerfectOracle{Advisor: s.Board}, nil
+	case PolicyFaulty:
+		return &core.FaultyOracle{P: cfg.FaultyP, Advisor: s.Board, Rng: s.Kernel.Rand()}, nil
+	case PolicyLearning:
+		return core.NewLearningOracle(s.Kernel.Rand()), nil
+	default:
+		return nil, fmt.Errorf("mercury: unknown policy %v", cfg.Policy)
+	}
+}
+
+// Components returns the station component names (excluding FD/REC/ops).
+func (s *System) Components() []string {
+	out := make([]string, len(s.components))
+	copy(out, s.components)
+	return out
+}
+
+// Boot starts the station (one whole-system start), waits until every
+// component serves, then starts FD and REC. It advances simulated time.
+func (s *System) Boot() error {
+	if s.booted {
+		return errors.New("mercury: already booted")
+	}
+	if err := s.Mgr.Start(station.Ops); err != nil {
+		return err
+	}
+	if err := s.Mgr.StartBatch(s.components); err != nil {
+		return err
+	}
+	deadline := s.Kernel.Now().Add(3 * time.Minute)
+	for !s.Mgr.AllServing(s.components...) {
+		if s.Kernel.Now().After(deadline) {
+			return fmt.Errorf("mercury: boot did not complete: %s", s.describe())
+		}
+		if !s.Kernel.Step() {
+			return errors.New("mercury: simulation idle during boot")
+		}
+	}
+	if _, err := s.Mgr.State(FDName); err == nil {
+		if err := s.Mgr.StartBatch([]string{FDName, RECName}); err != nil {
+			return err
+		}
+	}
+	if err := s.Kernel.RunFor(2 * time.Second); err != nil {
+		return err
+	}
+	s.armed = false
+	s.booted = true
+	return nil
+}
+
+func (s *System) describe() string {
+	out := ""
+	for _, c := range s.components {
+		st, _ := s.Mgr.State(c)
+		out += fmt.Sprintf("%s=%s ", c, st)
+	}
+	return out
+}
+
+// Inject activates a fault without waiting for recovery.
+func (s *System) Inject(f Fault) error {
+	if !s.booted {
+		return ErrNotBooted
+	}
+	return s.Board.Inject(fault.Fault{Manifest: f.Component, Cure: f.Cure, Hard: f.Hard, Hang: f.Hang})
+}
+
+// MeasureRecovery injects a fault and runs the simulation until the system
+// recovers (all components serving, no active fault), returning the
+// paper's time-to-recover: failure instant → system functionally ready.
+func (s *System) MeasureRecovery(f Fault, limit time.Duration) (time.Duration, error) {
+	if !s.booted {
+		return 0, ErrNotBooted
+	}
+	start := s.Kernel.Now()
+	if err := s.Inject(f); err != nil {
+		return 0, err
+	}
+	deadline := start.Add(limit)
+	for s.armed || s.Board.ActiveCount() > 0 {
+		if s.Kernel.Now().After(deadline) {
+			return 0, fmt.Errorf("%w: %s", ErrNoRecovery, s.describe())
+		}
+		if !s.Kernel.Step() {
+			return 0, errors.New("mercury: simulation idle before recovery")
+		}
+	}
+	d, ok := s.Log.LastRecovery()
+	if !ok {
+		return 0, errors.New("mercury: recovery not recorded in trace")
+	}
+	return d, nil
+}
+
+// RunFor advances simulated time (idle operation, pings, telemetry).
+func (s *System) RunFor(d time.Duration) error { return s.Kernel.RunFor(d) }
+
+// Now returns the current simulated time.
+func (s *System) Now() time.Time { return s.Kernel.Now() }
