@@ -9,6 +9,7 @@ package mercury_test
 // period, restart contention, restart budget).
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -83,6 +84,72 @@ func BenchmarkTable4(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%s", spec.Label, comp), func(b *testing.B) {
 				benchCell(b, cell, 40_000)
 			})
+		}
+	}
+}
+
+// BenchmarkTable4Parallel regenerates a reduced Table 4 through the trial
+// runner at increasing worker counts. On a multi-core machine the
+// per-iteration wall clock should drop roughly linearly with workers
+// (the acceptance bar is ≥2× at workers=4 vs workers=1 on ≥4 cores)
+// while every measured number stays bit-identical — see
+// TestParallelTable4MatchesSequential.
+func BenchmarkTable4Parallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiment.Table4Cfg(context.Background(), experiment.RunConfig{
+					Trials: 4, BaseSeed: 50_000, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != 6 {
+					b.Fatalf("rows = %d", len(rows))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunCellParallel isolates the runner fan-out on a single hot
+// cell (tree I, whole-system restarts — the most expensive trials).
+func BenchmarkRunCellParallel(b *testing.B) {
+	cell := experiment.Cell{Tree: "I", Policy: mercury.PolicyPerfect, Component: "rtu"}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.RunCellCfg(context.Background(), cell, experiment.RunConfig{
+					Trials: 16, BaseSeed: 51_000, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelTable4MatchesSequential is the determinism gate for the
+// trial runner: the fully rendered Table 4 must be byte-identical between
+// a sequential run and a wide parallel run of the same seed.
+func TestParallelTable4MatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	render := func(workers int) string {
+		rows, err := experiment.Table4Cfg(context.Background(), experiment.RunConfig{
+			Trials: 2, BaseSeed: 45_000, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return experiment.RenderRows(rows, "Table 4")
+	}
+	seq := render(1)
+	for _, workers := range []int{2, 8} {
+		if par := render(workers); par != seq {
+			t.Fatalf("workers=%d output diverged from sequential:\n--- sequential\n%s\n--- parallel\n%s",
+				workers, seq, par)
 		}
 	}
 }

@@ -4,18 +4,28 @@
 //
 //	rrbench -all                 # everything, 100 trials per cell
 //	rrbench -table 4 -trials 20  # just Table 4, faster
+//	rrbench -table 4 -parallel 8 # fan trials across 8 workers
+//	rrbench -table 4 -json       # machine-readable output
 //	rrbench -fig 5               # render the tree of figure 5
 //	rrbench -headline            # the §8 "factor of four" computation
+//
+// Trials fan out across a worker pool (-parallel, default one worker per
+// CPU); results are folded in seed order, so every measured number is
+// identical to a sequential run. -json replaces the rendered tables with
+// one JSON document on stdout for machine consumption (benchmark
+// trajectories, regression tracking); the ASCII figures are omitted.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-
 	"time"
 
 	"github.com/recursive-restart/mercury/internal/experiment"
+	"github.com/recursive-restart/mercury/internal/metrics"
 )
 
 func main() {
@@ -30,64 +40,226 @@ func main() {
 		all      = flag.Bool("all", false, "regenerate everything")
 		trials   = flag.Int("trials", experiment.DefaultTrials, "trials per measured cell")
 		seed     = flag.Int64("seed", 2002, "base random seed")
+		parallel = flag.Int("parallel", 0, "trial workers (0 = one per CPU, 1 = sequential)")
+		jsonOut  = flag.Bool("json", false, "emit one JSON document instead of rendered tables")
 	)
 	flag.Parse()
-	if err := run(*table, *fig, *headline, *soak, *rejuv, *sweep, *manual, *all, *trials, *seed); err != nil {
+	opts := options{
+		table: *table, fig: *fig, headline: *headline, soak: *soak,
+		rejuv: *rejuv, sweep: *sweep, manual: *manual, all: *all,
+		trials: *trials, seed: *seed, parallel: *parallel, json: *jsonOut,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "rrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, fig int, headline, soak, rejuv, sweep, manual, all bool, trials int, seed int64) error {
-	if !all && table == 0 && fig == 0 && !headline && !soak && !rejuv && !sweep && !manual {
+type options struct {
+	table, fig                                int
+	headline, soak, rejuv, sweep, manual, all bool
+	trials                                    int
+	seed                                      int64
+	parallel                                  int
+	json                                      bool
+}
+
+// sampleJSON is one measured cell in machine-readable form.
+type sampleJSON struct {
+	N       int     `json:"n"`
+	MeanS   float64 `json:"mean_s"`
+	StdDevS float64 `json:"stddev_s"`
+	MinS    float64 `json:"min_s"`
+	MaxS    float64 `json:"max_s"`
+	P95S    float64 `json:"p95_s"`
+}
+
+func toSampleJSON(s *metrics.Sample) sampleJSON {
+	p95, _ := s.Percentile(95)
+	return sampleJSON{
+		N:       s.N(),
+		MeanS:   s.MeanSeconds(),
+		StdDevS: s.StdDev().Seconds(),
+		MinS:    s.Min().Seconds(),
+		MaxS:    s.Max().Seconds(),
+		P95S:    p95.Seconds(),
+	}
+}
+
+type rowJSON struct {
+	Label string                `json:"label"`
+	Cells map[string]sampleJSON `json:"cells"`
+	Paper map[string]float64    `json:"paper,omitempty"`
+}
+
+func toRowsJSON(rows []experiment.Row) []rowJSON {
+	out := make([]rowJSON, 0, len(rows))
+	for _, r := range rows {
+		jr := rowJSON{Label: r.Label, Cells: make(map[string]sampleJSON, len(r.Cells))}
+		for comp, s := range r.Cells {
+			jr.Cells[comp] = toSampleJSON(s)
+		}
+		jr.Paper = experiment.PaperTable4[r.Label]
+		out = append(out, jr)
+	}
+	return out
+}
+
+type table1JSON struct {
+	Component      string  `json:"component"`
+	ConfiguredMTTF string  `json:"configured_mttf"`
+	AchievedMeanS  float64 `json:"achieved_mean_s"`
+	CV             float64 `json:"cv"`
+}
+
+type headlineJSON struct {
+	TreeIMTTRS float64 `json:"tree_i_mttr_s"`
+	TreeVMTTRS float64 `json:"tree_v_mttr_s"`
+	Factor     float64 `json:"factor"`
+}
+
+type sweepJSON struct {
+	P       float64 `json:"p"`
+	TreeIVS float64 `json:"tree_iv_s"`
+	TreeVS  float64 `json:"tree_v_s"`
+}
+
+type soakJSON struct {
+	Tree         string  `json:"tree"`
+	HorizonS     float64 `json:"horizon_s"`
+	Failures     int     `json:"failures"`
+	Recoveries   int     `json:"recoveries"`
+	GiveUps      int     `json:"give_ups"`
+	DowntimeS    float64 `json:"downtime_s"`
+	Availability float64 `json:"availability"`
+	MeanRecS     float64 `json:"mean_recovery_s"`
+}
+
+type rejuvJSON struct {
+	HorizonS      float64        `json:"horizon_s"`
+	FedrFailures  map[string]int `json:"fedr_failures"`
+	PbcomFailures map[string]int `json:"pbcom_failures"`
+}
+
+type manualJSON struct {
+	Trials      int     `json:"trials"`
+	ManualMeanS float64 `json:"manual_mean_s"`
+	AutoMeanS   float64 `json:"auto_mean_s"`
+	ManualAvail float64 `json:"manual_availability"`
+	AutoAvail   float64 `json:"auto_availability"`
+}
+
+// report is the -json document: only the sections that ran are present.
+type report struct {
+	Trials   int           `json:"trials"`
+	Seed     int64         `json:"seed"`
+	Parallel int           `json:"parallel"`
+	Table1   []table1JSON  `json:"table1,omitempty"`
+	Table2   []rowJSON     `json:"table2,omitempty"`
+	Table4   []rowJSON     `json:"table4,omitempty"`
+	Headline *headlineJSON `json:"headline,omitempty"`
+	Sweep    []sweepJSON   `json:"sweep,omitempty"`
+	Soak     []soakJSON    `json:"soak,omitempty"`
+	Rejuv    *rejuvJSON    `json:"rejuv,omitempty"`
+	Manual   *manualJSON   `json:"manual,omitempty"`
+}
+
+func run(o options) error {
+	if !o.all && o.table == 0 && o.fig == 0 && !o.headline && !o.soak && !o.rejuv && !o.sweep && !o.manual {
 		flag.Usage()
 		return fmt.Errorf("nothing to do: pass -all, -table, -fig, -headline, -soak, -rejuv, -sweep or -manual")
 	}
-	if all || manual {
-		n := trials
-		if n > 20 {
-			n = 20
+	ctx := context.Background()
+	rc := experiment.RunConfig{Trials: o.trials, BaseSeed: o.seed, Workers: o.parallel}
+	rep := report{Trials: o.trials, Seed: o.seed, Parallel: o.parallel}
+
+	if o.all || o.manual {
+		mc := rc
+		if mc.Trials > 20 {
+			mc.Trials = 20
 		}
-		r, err := experiment.ManualVsAuto(n, seed)
+		r, err := experiment.ManualVsAutoCfg(ctx, mc)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiment.RenderManual(r))
-	}
-	if all || sweep {
-		n := trials
-		if n > 25 {
-			n = 25 // the sweep has 12 cells; keep it snappy
-		}
-		points, err := experiment.DefaultSweep(n, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiment.RenderSweep(points))
-	}
-	if all || soak {
-		fmt.Println("organic-failure soak (Table 1 rates, escalating oracle, 12 simulated hours)")
-		for _, tree := range []string{"I", "IV"} {
-			r, err := experiment.Soak(tree, 12*time.Hour, seed)
-			if err != nil {
-				return err
+		if o.json {
+			rep.Manual = &manualJSON{
+				Trials:      r.Trials,
+				ManualMeanS: r.ManualRecovery.MeanSeconds(),
+				AutoMeanS:   r.AutoRecovery.MeanSeconds(),
+				ManualAvail: r.ManualAvail,
+				AutoAvail:   r.AutoAvail,
 			}
-			fmt.Print(experiment.RenderSoak(r))
+		} else {
+			fmt.Println(experiment.RenderManual(r))
 		}
-		fmt.Println()
 	}
-	if all || rejuv {
-		r, err := experiment.FreeRestartMTTF(12*time.Hour, seed)
+	if o.all || o.sweep {
+		sc := rc
+		if sc.Trials > 25 {
+			sc.Trials = 25 // the sweep has 12 cells; keep it snappy
+		}
+		points, err := experiment.DefaultSweepCfg(ctx, sc)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiment.RenderFreeRestart(r))
+		if o.json {
+			for _, pt := range points {
+				rep.Sweep = append(rep.Sweep, sweepJSON{P: pt.P, TreeIVS: pt.TreeIV, TreeVS: pt.TreeV})
+			}
+		} else {
+			fmt.Println(experiment.RenderSweep(points))
+		}
 	}
-	if all || fig != 0 {
-		if all || fig == 1 {
+	if o.all || o.soak {
+		const horizon = 12 * time.Hour
+		if !o.json {
+			fmt.Println("organic-failure soak (Table 1 rates, escalating oracle, 12 simulated hours)")
+		}
+		results, err := experiment.Soaks(ctx, []string{"I", "IV"}, horizon, o.seed, o.parallel)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			if o.json {
+				mean := 0.0
+				if r.Recovery.N() > 0 {
+					mean = r.Recovery.MeanSeconds()
+				}
+				rep.Soak = append(rep.Soak, soakJSON{
+					Tree: r.Tree, HorizonS: r.Horizon.Seconds(),
+					Failures: r.Failures, Recoveries: r.Recoveries, GiveUps: r.GiveUps,
+					DowntimeS: r.SystemDowntime.Seconds(), Availability: r.Availability,
+					MeanRecS: mean,
+				})
+			} else {
+				fmt.Print(experiment.RenderSoak(r))
+			}
+		}
+		if !o.json {
+			fmt.Println()
+		}
+	}
+	if o.all || o.rejuv {
+		r, err := experiment.FreeRestartMTTF(12*time.Hour, o.seed)
+		if err != nil {
+			return err
+		}
+		if o.json {
+			rep.Rejuv = &rejuvJSON{
+				HorizonS:      r.Horizon.Seconds(),
+				FedrFailures:  r.FedrFailures,
+				PbcomFailures: r.PbcomFailures,
+			}
+		} else {
+			fmt.Println(experiment.RenderFreeRestart(r))
+		}
+	}
+	if !o.json && (o.all || o.fig != 0) {
+		if o.all || o.fig == 1 {
 			fmt.Println(experiment.Figure1())
 		}
-		if all || fig >= 2 {
+		if o.all || o.fig >= 2 {
 			figs, err := experiment.Figures()
 			if err != nil {
 				return err
@@ -95,39 +267,88 @@ func run(table, fig int, headline, soak, rejuv, sweep, manual, all bool, trials 
 			fmt.Println(figs)
 		}
 	}
-	if all || table == 1 {
-		res, err := experiment.Table1(10000, seed)
+	if o.all || o.table == 1 {
+		res, err := experiment.Table1Cfg(ctx, 10000, experiment.RunConfig{BaseSeed: o.seed, Workers: o.parallel})
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiment.RenderTable1(res))
+		if o.json {
+			for _, r := range res {
+				rep.Table1 = append(rep.Table1, table1JSON{
+					Component:      r.Component,
+					ConfiguredMTTF: r.Configured.String(),
+					AchievedMeanS:  r.Measured.MeanSeconds(),
+					CV:             r.Measured.CV(),
+				})
+			}
+		} else {
+			fmt.Println(experiment.RenderTable1(res))
+		}
 	}
-	if all || table == 3 {
+	if !o.json && (o.all || o.table == 3) {
 		fmt.Println(experiment.Table3())
 	}
 	var rows []experiment.Row
-	if all || table == 2 || table == 4 || headline {
+	if o.all || o.table == 4 || o.headline {
 		var err error
-		fmt.Printf("measuring %d trials per cell...\n", trials)
-		rows, err = experiment.Table4(trials, seed)
+		if !o.json {
+			fmt.Printf("measuring %d trials per cell...\n", o.trials)
+		}
+		rows, err = experiment.Table4Cfg(ctx, rc)
 		if err != nil {
 			return err
 		}
 	}
-	if all || table == 2 {
-		fmt.Println(experiment.RenderRows(rows[:2],
-			"Table 2 — tree II recovery: detection + recovery time (s)"))
+	if o.all || o.table == 2 {
+		// Table 2 is trees I and II only; reuse the Table 4 rows when the
+		// full grid was already measured, measure just the two otherwise.
+		t2 := rows
+		if t2 == nil {
+			var err error
+			if !o.json {
+				fmt.Printf("measuring %d trials per cell...\n", o.trials)
+			}
+			t2, err = experiment.Table2Cfg(ctx, rc)
+			if err != nil {
+				return err
+			}
+		} else {
+			t2 = t2[:2]
+		}
+		if o.json {
+			rep.Table2 = toRowsJSON(t2)
+		} else {
+			fmt.Println(experiment.RenderRows(t2,
+				"Table 2 — tree II recovery: detection + recovery time (s)"))
+		}
 	}
-	if all || table == 4 {
-		fmt.Println(experiment.RenderRows(rows,
-			"Table 4 — overall MTTRs (s); rows are tree/oracle, columns failed components"))
+	if o.all || o.table == 4 {
+		if o.json {
+			rep.Table4 = toRowsJSON(rows)
+		} else {
+			fmt.Println(experiment.RenderRows(rows,
+				"Table 4 — overall MTTRs (s); rows are tree/oracle, columns failed components"))
+		}
 	}
-	if all || headline {
+	if o.all || o.headline {
 		h, err := experiment.Headline(rows)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiment.RenderHeadline(h))
+		if o.json {
+			rep.Headline = &headlineJSON{
+				TreeIMTTRS: h.TreeIMTTR.Seconds(),
+				TreeVMTTRS: h.TreeVMTTR.Seconds(),
+				Factor:     h.Factor,
+			}
+		} else {
+			fmt.Println(experiment.RenderHeadline(h))
+		}
+	}
+	if o.json {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
 	}
 	return nil
 }

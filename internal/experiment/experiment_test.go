@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	mercury "github.com/recursive-restart/mercury"
 )
@@ -229,6 +231,90 @@ func TestCureForCell(t *testing.T) {
 	}
 	if c := cureForCell("IV/faulty", "rtu"); c != nil {
 		t.Fatalf("cure = %v", c)
+	}
+}
+
+func TestTable2MatchesTable4Rows(t *testing.T) {
+	// Table 2 now measures only trees I and II; its rows must still be
+	// identical to the corresponding Table 4 rows for the same seed.
+	t2, err := Table2(2, 9000)
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	t4, err := Table4(2, 9000)
+	if err != nil {
+		t.Fatalf("Table4: %v", err)
+	}
+	if len(t2) != 2 {
+		t.Fatalf("Table2 rows = %d", len(t2))
+	}
+	for i, row := range t2 {
+		want := t4[i]
+		if row.Label != want.Label {
+			t.Fatalf("row %d label %q vs %q", i, row.Label, want.Label)
+		}
+		if len(row.Cells) != len(want.Cells) {
+			t.Fatalf("row %s cell count %d vs %d", row.Label, len(row.Cells), len(want.Cells))
+		}
+		for comp, s := range row.Cells {
+			w, ok := want.Cells[comp]
+			if !ok {
+				t.Fatalf("row %s: Table4 missing %s", row.Label, comp)
+			}
+			if s.MeanSeconds() != w.MeanSeconds() || s.N() != w.N() {
+				t.Fatalf("row %s %s: Table2 %.6f/%d vs Table4 %.6f/%d",
+					row.Label, comp, s.MeanSeconds(), s.N(), w.MeanSeconds(), w.N())
+			}
+		}
+	}
+}
+
+func TestParallelCellBitIdenticalToSequential(t *testing.T) {
+	cell := Cell{Tree: "IV", Policy: mercury.PolicyPerfect, Component: "ses"}
+	seq, err := RunCellCfg(context.Background(), cell, RunConfig{Trials: 6, BaseSeed: 12_000, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunCellCfg(context.Background(), cell, RunConfig{Trials: 6, BaseSeed: 12_000, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.MeanSeconds() != par.MeanSeconds() || seq.StdDev() != par.StdDev() ||
+		seq.Min() != par.Min() || seq.Max() != par.Max() {
+		t.Fatalf("parallel cell diverged: %v/%v vs %v/%v",
+			seq.MeanSeconds(), seq.StdDev(), par.MeanSeconds(), par.StdDev())
+	}
+}
+
+func TestSoaksMatchesSoak(t *testing.T) {
+	many, err := Soaks(context.Background(), []string{"I", "IV"}, time.Hour, 1002, 2)
+	if err != nil {
+		t.Fatalf("Soaks: %v", err)
+	}
+	for i, tree := range []string{"I", "IV"} {
+		one, err := Soak(tree, time.Hour, 1002)
+		if err != nil {
+			t.Fatalf("Soak %s: %v", tree, err)
+		}
+		if many[i].Availability != one.Availability || many[i].Failures != one.Failures {
+			t.Fatalf("tree %s: parallel soak diverged: %+v vs %+v", tree, many[i], one)
+		}
+	}
+}
+
+func TestSatPassesMatchesSatPass(t *testing.T) {
+	many, err := SatPasses(context.Background(), []string{"I", "IV"}, 901, 2)
+	if err != nil {
+		t.Fatalf("SatPasses: %v", err)
+	}
+	for i, tree := range []string{"I", "IV"} {
+		one, err := SatPass(tree, 901)
+		if err != nil {
+			t.Fatalf("SatPass %s: %v", tree, err)
+		}
+		if many[i].Recovery != one.Recovery || many[i].CollectedKb != one.CollectedKb {
+			t.Fatalf("tree %s: parallel pass diverged", tree)
+		}
 	}
 }
 

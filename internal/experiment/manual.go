@@ -1,13 +1,18 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	mercury "github.com/recursive-restart/mercury"
 	"github.com/recursive-restart/mercury/internal/fault"
 	"github.com/recursive-restart/mercury/internal/metrics"
+	"github.com/recursive-restart/mercury/internal/runner"
 )
+
+// manualSeedStride spaces the per-trial seeds of the manual baseline.
+const manualSeedStride = 6151
 
 // This file reproduces the paper's §8 secondary claim: "in the past,
 // relying on operators to notice failures was adding minutes or hours to
@@ -29,62 +34,85 @@ type ManualResult struct {
 	AutoAvail      float64
 }
 
+// manualTrial is one paired observation: the operator-driven recovery and
+// the automated recovery of the equivalent failure under the same seed.
+type manualTrial struct {
+	manual, auto time.Duration
+}
+
+// measureManual runs the pre-RR procedure once: no FD/REC; the operator
+// notices after OperatorNotice and performs the only procedure tree I
+// admits — a whole-system restart.
+func measureManual(seed int64) (time.Duration, error) {
+	sys, err := mercury.NewSystem(mercury.Config{
+		Seed: seed, TreeName: "I", DisableRecovery: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.Boot(); err != nil {
+		return 0, err
+	}
+	start := sys.Now()
+	if err := sys.Inject(mercury.Fault{Component: "fedrcom"}); err != nil {
+		return 0, err
+	}
+	notice := OperatorNotice.Sample(sys.Kernel.Rand())
+	if err := sys.Kernel.RunUntil(start.Add(notice)); err != nil {
+		return 0, err
+	}
+	if err := sys.Mgr.Restart(sys.Components()); err != nil {
+		return 0, err
+	}
+	deadline := sys.Now().Add(3 * time.Minute)
+	for !sys.Mgr.AllServing(sys.Components()...) {
+		if sys.Now().After(deadline) {
+			return 0, fmt.Errorf("experiment: manual reboot did not complete")
+		}
+		if !sys.Kernel.Step() {
+			return 0, fmt.Errorf("experiment: simulation idle during manual reboot")
+		}
+	}
+	// The board still lists the fault (cured by the full restart's batch
+	// hook); recovery spans failure → all serving.
+	return sys.Now().Sub(start), nil
+}
+
 // ManualVsAuto measures recovery of the most frequent failure (the front
 // end) under the pre-RR manual procedure versus the automated tree-IV
 // station, and derives the availability each implies at fedrcom's
 // 10-minute... (Table 1) failure rate — using the post-split fedr rate for
 // the automated system.
 func ManualVsAuto(trials int, baseSeed int64) (*ManualResult, error) {
-	res := &ManualResult{Trials: trials}
-	for i := 0; i < trials; i++ {
-		seed := baseSeed + int64(i)*6151
+	return ManualVsAutoCfg(context.Background(), RunConfig{Trials: trials, BaseSeed: baseSeed})
+}
 
-		// Manual: no FD/REC; the operator notices after OperatorNotice and
-		// performs the only pre-RR procedure — a whole-system restart.
-		sys, err := mercury.NewSystem(mercury.Config{
-			Seed: seed, TreeName: "I", DisableRecovery: true,
+// ManualVsAutoCfg runs the paired trials across the runner pool; samples
+// are folded in seed order, so results match the sequential path exactly.
+func ManualVsAutoCfg(ctx context.Context, rc RunConfig) (*ManualResult, error) {
+	pairs, err := runner.Run(ctx, rc.runnerConfig(manualSeedStride), rc.Trials,
+		func(_ context.Context, i int, seed int64) (manualTrial, error) {
+			manual, err := measureManual(seed)
+			if err != nil {
+				return manualTrial{}, fmt.Errorf("manual trial %d: %w", i, err)
+			}
+			// Automated: tree IV, escalating oracle, fedr failure.
+			auto, err := Cell{
+				Tree: "IV", Policy: mercury.PolicyEscalating, Component: "fedr",
+			}.Measure(seed)
+			if err != nil {
+				return manualTrial{}, fmt.Errorf("auto trial %d: %w", i, err)
+			}
+			return manualTrial{manual: manual, auto: auto}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.Boot(); err != nil {
-			return nil, err
-		}
-		start := sys.Now()
-		if err := sys.Inject(mercury.Fault{Component: "fedrcom"}); err != nil {
-			return nil, err
-		}
-		notice := OperatorNotice.Sample(sys.Kernel.Rand())
-		if err := sys.Kernel.RunUntil(start.Add(notice)); err != nil {
-			return nil, err
-		}
-		if err := sys.Mgr.Restart(sys.Components()); err != nil {
-			return nil, err
-		}
-		deadline := sys.Now().Add(3 * time.Minute)
-		for !sys.Mgr.AllServing(sys.Components()...) {
-			if sys.Now().After(deadline) {
-				return nil, fmt.Errorf("experiment: manual reboot did not complete")
-			}
-			if !sys.Kernel.Step() {
-				return nil, fmt.Errorf("experiment: simulation idle during manual reboot")
-			}
-		}
-		// The board still lists the fault (cured by the full restart's
-		// batch hook); recovery spans failure → all serving.
-		manual := sys.Now().Sub(start)
-		res.ManualRecovery.Add(manual)
-
-		// Automated: tree IV, escalating oracle, fedr failure.
-		auto, err := RunCell(Cell{
-			Tree: "IV", Policy: mercury.PolicyEscalating, Component: "fedr",
-		}, 1, seed)
-		if err != nil {
-			return nil, err
-		}
-		res.AutoRecovery.Add(auto.Mean())
+	if err != nil {
+		return nil, err
 	}
-
+	res := &ManualResult{Trials: rc.Trials}
+	for _, p := range pairs {
+		res.ManualRecovery.Add(p.manual)
+		res.AutoRecovery.Add(p.auto)
+	}
 	res.ManualAvail = metrics.Availability(PaperMTTF["fedrcom"], res.ManualRecovery.Mean())
 	res.AutoAvail = metrics.Availability(SplitMTTF["fedr"], res.AutoRecovery.Mean())
 	return res, nil

@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	mercury "github.com/recursive-restart/mercury"
 	"github.com/recursive-restart/mercury/internal/orbit"
+	"github.com/recursive-restart/mercury/internal/runner"
 )
 
 // This file reproduces the paper's §5.2 argument — "not all downtime is
@@ -98,6 +100,16 @@ func SatPass(tree string, seed int64) (*PassOutcome, error) {
 		out.CollectedKb = DataRateKbps * (pass.Duration() - recovery).Seconds()
 	}
 	return out, nil
+}
+
+// SatPasses simulates one pass per tree as independent trials on the
+// runner pool, all from the same seed so trees see the same pass and the
+// same mid-pass failure instant.
+func SatPasses(ctx context.Context, trees []string, seed int64, workers int) ([]*PassOutcome, error) {
+	return runner.Run(ctx, runner.Config{Workers: workers, BaseSeed: seed}, len(trees),
+		func(_ context.Context, i int, _ int64) (*PassOutcome, error) {
+			return SatPass(trees[i], seed)
+		})
 }
 
 // RenderPassOutcome formats one pass account.

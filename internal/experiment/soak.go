@@ -1,12 +1,15 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	mercury "github.com/recursive-restart/mercury"
 	"github.com/recursive-restart/mercury/internal/fault"
 	"github.com/recursive-restart/mercury/internal/metrics"
+	"github.com/recursive-restart/mercury/internal/runner"
 	"github.com/recursive-restart/mercury/internal/trace"
 )
 
@@ -76,13 +79,20 @@ func Soak(tree string, horizon time.Duration, seed int64) (*SoakResult, error) {
 	if tree == "I" || tree == "II" {
 		mttf = PaperMTTF
 	}
-	for comp, m := range mttf {
-		sys.Injector.SetLaw(comp, fault.LogNormal{M: m, CV: 0.25})
+	// Iterate in sorted order: priming draws from the system's RNG, so map
+	// iteration order would make the failure schedule non-deterministic.
+	comps := make([]string, 0, len(mttf))
+	for comp := range mttf {
+		comps = append(comps, comp)
+	}
+	sort.Strings(comps)
+	for _, comp := range comps {
+		sys.Injector.SetLaw(comp, fault.LogNormal{M: mttf[comp], CV: 0.25})
 	}
 	sys.Injector.Enable()
 	// Components are already serving, so their first organic failures must
 	// be primed explicitly (the ready hook only catches future restarts).
-	for comp := range mttf {
+	for _, comp := range comps {
 		sys.Injector.Prime(comp)
 	}
 
@@ -97,6 +107,16 @@ func Soak(tree string, horizon time.Duration, seed int64) (*SoakResult, error) {
 	}
 	res.Availability = 1 - res.SystemDowntime.Seconds()/horizon.Seconds()
 	return res, nil
+}
+
+// Soaks runs one soak per tree as independent trials on the runner pool.
+// Every tree soaks under the same seed (as the sequential comparisons
+// always have), so results are identical to calling Soak per tree.
+func Soaks(ctx context.Context, trees []string, horizon time.Duration, seed int64, workers int) ([]*SoakResult, error) {
+	return runner.Run(ctx, runner.Config{Workers: workers, BaseSeed: seed}, len(trees),
+		func(_ context.Context, i int, _ int64) (*SoakResult, error) {
+			return Soak(trees[i], horizon, seed)
+		})
 }
 
 // RenderSoak formats a soak result.

@@ -1,11 +1,15 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	mercury "github.com/recursive-restart/mercury"
 )
+
+// sweepPointStride spaces the base seeds of consecutive sweep points.
+const sweepPointStride = 131
 
 // This file extends §4.4 into a sensitivity study: the paper measured one
 // oracle error rate (30%); the sweep varies it from 0 to 1 and shows that
@@ -23,18 +27,27 @@ type SweepPoint struct {
 // OracleQualitySweep measures joint-cure pbcom recoveries under trees IV
 // and V across oracle error rates.
 func OracleQualitySweep(ps []float64, trials int, baseSeed int64) ([]SweepPoint, error) {
+	return OracleQualitySweepCfg(context.Background(), ps, RunConfig{Trials: trials, BaseSeed: baseSeed})
+}
+
+// OracleQualitySweepCfg runs the sweep with each (point, tree) cell's
+// trials fanned across the runner pool. Each point keeps its own base
+// seed, so the sweep trajectory is independent of the worker count.
+func OracleQualitySweepCfg(ctx context.Context, ps []float64, rc RunConfig) ([]SweepPoint, error) {
 	cure := []string{"fedr", "pbcom"}
 	var out []SweepPoint
 	for i, p := range ps {
 		if p < 0 || p > 1 {
 			return nil, fmt.Errorf("experiment: error rate %v outside [0,1]", p)
 		}
+		pointCfg := rc
+		pointCfg.BaseSeed = rc.BaseSeed + int64(i)*sweepPointStride
 		point := SweepPoint{P: p}
 		for _, tree := range []string{"IV", "V"} {
-			s, err := RunCell(Cell{
+			s, err := RunCellCfg(ctx, Cell{
 				Tree: tree, Policy: mercury.PolicyFaulty, FaultyP: p,
 				Component: "pbcom", Cure: cure,
-			}, trials, baseSeed+int64(i)*131)
+			}, pointCfg)
 			if err != nil {
 				return nil, err
 			}
@@ -79,4 +92,10 @@ var sweepDefaults = []float64{0, 0.15, 0.30, 0.50, 0.75, 1.0}
 // DefaultSweep runs the standard sweep.
 func DefaultSweep(trials int, seed int64) ([]SweepPoint, error) {
 	return OracleQualitySweep(sweepDefaults, trials, seed)
+}
+
+// DefaultSweepCfg runs the standard sweep under an explicit run
+// configuration.
+func DefaultSweepCfg(ctx context.Context, rc RunConfig) ([]SweepPoint, error) {
+	return OracleQualitySweepCfg(ctx, sweepDefaults, rc)
 }

@@ -26,6 +26,9 @@ type Sample struct {
 	min  float64
 	max  float64
 	all  []float64 // retained for percentiles
+	// sorted caches the ascending view of all; nil means stale. Rebuilt
+	// lazily by Percentile, invalidated by Add and Merge.
+	sorted []float64
 }
 
 // Add records one observation.
@@ -46,6 +49,38 @@ func (s *Sample) Add(d time.Duration) {
 	s.mean += delta / float64(s.n)
 	s.m2 += delta * (x - s.mean)
 	s.all = append(s.all, x)
+	s.sorted = nil
+}
+
+// Merge folds another sample into s using the parallel Welford combine of
+// Chan, Golub & LeVeque, so worker-local accumulators can be joined
+// without revisiting observations. The observation buffers are
+// concatenated (percentiles stay exact) and min/max are combined. Merge
+// does not modify o. Sample is not internally synchronized: concurrent
+// Merge calls into the same receiver need external locking.
+func (s *Sample) Merge(o *Sample) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		s.n, s.mean, s.m2, s.min, s.max = o.n, o.mean, o.m2, o.min, o.max
+		s.all = append([]float64(nil), o.all...)
+		s.sorted = nil
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.mean += delta * float64(o.n) / float64(n)
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+	s.all = append(s.all, o.all...)
+	s.sorted = nil
 }
 
 // N reports the number of observations.
@@ -88,7 +123,9 @@ func (s *Sample) Max() time.Duration {
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) using linear
-// interpolation between closest ranks.
+// interpolation between closest ranks. The sorted view is cached across
+// calls and invalidated by Add/Merge, so percentile sweeps over a settled
+// sample sort once instead of once per call.
 func (s *Sample) Percentile(p float64) (time.Duration, error) {
 	if s.n == 0 {
 		return 0, ErrNoSamples
@@ -96,9 +133,12 @@ func (s *Sample) Percentile(p float64) (time.Duration, error) {
 	if p <= 0 || p > 100 {
 		return 0, fmt.Errorf("metrics: percentile %v out of (0,100]", p)
 	}
-	sorted := make([]float64, len(s.all))
-	copy(sorted, s.all)
-	sort.Float64s(sorted)
+	if s.sorted == nil {
+		s.sorted = make([]float64, len(s.all))
+		copy(s.sorted, s.all)
+		sort.Float64s(s.sorted)
+	}
+	sorted := s.sorted
 	if len(sorted) == 1 {
 		return time.Duration(sorted[0] * float64(time.Second)), nil
 	}

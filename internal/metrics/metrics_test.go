@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -67,6 +68,159 @@ func TestPercentile(t *testing.T) {
 	var empty Sample
 	if _, err := empty.Percentile(50); err != ErrNoSamples {
 		t.Fatalf("empty percentile err = %v", err)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	var empty Sample
+	if _, err := empty.Percentile(50); err != ErrNoSamples {
+		t.Fatalf("n=0 err = %v", err)
+	}
+	var one Sample
+	one.Add(7 * time.Second)
+	for _, p := range []float64{1, 50, 100} {
+		if got, err := one.Percentile(p); err != nil || got != 7*time.Second {
+			t.Fatalf("n=1 P%v = %v, %v", p, got, err)
+		}
+	}
+	var s Sample
+	s.Add(sec(1))
+	s.Add(sec(3))
+	// Interpolation between ranks: P50 of {1,3} is the midpoint.
+	if got, _ := s.Percentile(50); got != sec(2) {
+		t.Fatalf("P50 = %v, want 2s", got)
+	}
+	if got, _ := s.Percentile(75); got != sec(2.5) {
+		t.Fatalf("P75 = %v, want 2.5s", got)
+	}
+	if got, _ := s.Percentile(100); got != sec(3) {
+		t.Fatalf("P100 = %v, want max", got)
+	}
+}
+
+func TestPercentileCacheInvalidation(t *testing.T) {
+	var s Sample
+	s.Add(sec(10))
+	s.Add(sec(20))
+	if got, _ := s.Percentile(100); got != sec(20) {
+		t.Fatalf("P100 = %v", got)
+	}
+	// Add after a Percentile call must invalidate the cached view.
+	s.Add(sec(30))
+	if got, _ := s.Percentile(100); got != sec(30) {
+		t.Fatalf("P100 after Add = %v, want 30s", got)
+	}
+	// Merge must invalidate it too.
+	var o Sample
+	o.Add(sec(40))
+	s.Merge(&o)
+	if got, _ := s.Percentile(100); got != sec(40) {
+		t.Fatalf("P100 after Merge = %v, want 40s", got)
+	}
+	// Repeated calls on a settled sample reuse the cache and stay exact.
+	p1, _ := s.Percentile(50)
+	p2, _ := s.Percentile(50)
+	if p1 != p2 {
+		t.Fatalf("cached P50 unstable: %v vs %v", p1, p2)
+	}
+}
+
+func TestMergeMatchesSequentialAdd(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9, 1.5, 12.25, 0.75}
+	var whole Sample
+	for _, v := range vals {
+		whole.Add(sec(v))
+	}
+	var a, b Sample
+	for _, v := range vals[:5] {
+		a.Add(sec(v))
+	}
+	for _, v := range vals[5:] {
+		b.Add(sec(v))
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("N = %d, want %d", a.N(), whole.N())
+	}
+	if math.Abs(a.MeanSeconds()-whole.MeanSeconds()) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", a.MeanSeconds(), whole.MeanSeconds())
+	}
+	if math.Abs(a.StdDev().Seconds()-whole.StdDev().Seconds()) > 1e-9 {
+		t.Fatalf("std = %v, want %v", a.StdDev(), whole.StdDev())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("min/max = %v/%v, want %v/%v", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+	pa, _ := a.Percentile(90)
+	pw, _ := whole.Percentile(90)
+	if pa != pw {
+		t.Fatalf("P90 = %v, want %v", pa, pw)
+	}
+	// b is untouched by the merge.
+	if b.N() != len(vals[5:]) {
+		t.Fatalf("merge mutated the argument: N = %d", b.N())
+	}
+}
+
+func TestMergeEmptyCases(t *testing.T) {
+	var s Sample
+	s.Merge(nil)
+	s.Merge(&Sample{})
+	if s.N() != 0 {
+		t.Fatalf("empty merges changed N to %d", s.N())
+	}
+	var o Sample
+	o.Add(sec(3))
+	o.Add(sec(5))
+	s.Merge(&o) // empty receiver copies the argument
+	if s.N() != 2 || s.Min() != sec(3) || s.Max() != sec(5) {
+		t.Fatalf("copy merge: N=%d min=%v max=%v", s.N(), s.Min(), s.Max())
+	}
+	// The copy is deep: growing s must not disturb o's buffer.
+	s.Add(sec(100))
+	if o.N() != 2 {
+		t.Fatalf("merge aliased the argument buffer")
+	}
+	if p, _ := o.Percentile(100); p != sec(5) {
+		t.Fatalf("argument P100 = %v after receiver Add", p)
+	}
+}
+
+// TestConcurrentMerge exercises Merge from many goroutines under -race:
+// workers accumulate locally and combine into a shared sample under a
+// mutex (Sample itself is documented as not internally synchronized).
+func TestConcurrentMerge(t *testing.T) {
+	const workers, perWorker = 8, 250
+	var (
+		mu     sync.Mutex
+		merged Sample
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local Sample
+			for i := 0; i < perWorker; i++ {
+				local.Add(time.Duration(w*perWorker+i) * time.Millisecond)
+			}
+			mu.Lock()
+			merged.Merge(&local)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	n := workers * perWorker
+	if merged.N() != n {
+		t.Fatalf("N = %d, want %d", merged.N(), n)
+	}
+	// Values are 0..n-1 ms regardless of merge order.
+	wantMean := float64(n-1) / 2 / 1000
+	if math.Abs(merged.MeanSeconds()-wantMean) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", merged.MeanSeconds(), wantMean)
+	}
+	if merged.Min() != 0 || merged.Max() != time.Duration(n-1)*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", merged.Min(), merged.Max())
 	}
 }
 

@@ -22,6 +22,8 @@ package mercury
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"github.com/recursive-restart/mercury/internal/bus"
@@ -310,13 +312,21 @@ func (s *System) Boot() error {
 	return nil
 }
 
+// describe renders the component states for error messages, in sorted
+// component order so equal system states always produce equal strings.
 func (s *System) describe() string {
-	out := ""
-	for _, c := range s.components {
+	names := make([]string, len(s.components))
+	copy(names, s.components)
+	sort.Strings(names)
+	var sb strings.Builder
+	for i, c := range names {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
 		st, _ := s.Mgr.State(c)
-		out += fmt.Sprintf("%s=%s ", c, st)
+		fmt.Fprintf(&sb, "%s=%s", c, st)
 	}
-	return out
+	return sb.String()
 }
 
 // Inject activates a fault without waiting for recovery.
