@@ -1,0 +1,227 @@
+package main
+
+// The -bench mode measures the simulation substrate itself rather than the
+// paper's tables: raw kernel stepping throughput and full recovery-trial
+// campaigns (Table 2 / Table 4 cells), each reported as events/sec,
+// ns/event and allocs/event. Every run appends one record to
+// BENCH_RESULTS.json so the repo accumulates a perf trajectory across PRs.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	mercury "github.com/recursive-restart/mercury"
+	"github.com/recursive-restart/mercury/internal/experiment"
+	"github.com/recursive-restart/mercury/internal/sim"
+)
+
+// perfRecord is one measured workload.
+type perfRecord struct {
+	Name           string  `json:"name"`
+	Trials         int     `json:"trials,omitempty"`
+	Events         uint64  `json:"events"`
+	WallSeconds    float64 `json:"wall_s"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// perfRun is one rrbench -bench invocation.
+type perfRun struct {
+	Timestamp string       `json:"timestamp"`
+	Label     string       `json:"label,omitempty"`
+	Go        string       `json:"go"`
+	Seed      int64        `json:"seed"`
+	Records   []perfRecord `json:"records"`
+}
+
+// meter wraps a measured region: wall time plus allocation counters.
+type meter struct {
+	start time.Time
+	ms0   runtime.MemStats
+}
+
+func startMeter() *meter {
+	m := &meter{}
+	runtime.GC()
+	runtime.ReadMemStats(&m.ms0)
+	m.start = time.Now()
+	return m
+}
+
+func (m *meter) record(name string, trials int, events uint64) perfRecord {
+	wall := time.Since(m.start)
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	r := perfRecord{
+		Name:        name,
+		Trials:      trials,
+		Events:      events,
+		WallSeconds: wall.Seconds(),
+	}
+	if events > 0 {
+		r.EventsPerSec = float64(events) / wall.Seconds()
+		r.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
+		r.AllocsPerEvent = float64(ms1.Mallocs-m.ms0.Mallocs) / float64(events)
+		r.BytesPerEvent = float64(ms1.TotalAlloc-m.ms0.TotalAlloc) / float64(events)
+	}
+	return r
+}
+
+// benchKernel measures raw stepping throughput: a self-perpetuating event
+// chain, the zero-allocation steady state.
+func benchKernel(events int) (perfRecord, error) {
+	k := sim.New(1)
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < events {
+			k.AfterFunc(time.Millisecond, fn)
+		}
+	}
+	k.AfterFunc(0, fn)
+	m := startMeter()
+	if err := k.Run(); err != nil {
+		return perfRecord{}, err
+	}
+	return m.record("kernel-steady", 0, k.Executed()), nil
+}
+
+// benchCells runs every cell for trials recovery trials, counting executed
+// kernel events across all trials.
+func benchCells(name string, cells []experiment.Cell, trials int, seed int64) (perfRecord, error) {
+	m := startMeter()
+	var events uint64
+	for ci, cell := range cells {
+		for i := 0; i < trials; i++ {
+			sys, err := mercury.NewSystem(mercury.Config{
+				Seed:     seed + int64(ci)*1_000_003 + int64(i)*104_729,
+				TreeName: cell.Tree,
+				Policy:   cell.Policy,
+				FaultyP:  cell.FaultyP,
+			})
+			if err != nil {
+				return perfRecord{}, err
+			}
+			if err := sys.Boot(); err != nil {
+				return perfRecord{}, err
+			}
+			if _, err := sys.MeasureRecovery(
+				mercury.Fault{Component: cell.Component, Cure: cell.Cure}, 5*time.Minute); err != nil {
+				return perfRecord{}, err
+			}
+			events += sys.Kernel.Executed()
+		}
+	}
+	return m.record(name, trials, events), nil
+}
+
+// table2Cells mirrors the Table 2 grid (trees I and II, per component).
+func table2Cells() []experiment.Cell {
+	var cells []experiment.Cell
+	for _, tree := range []string{"I", "II"} {
+		for _, comp := range []string{"mbus", "ses", "str", "rtu", "fedrcom"} {
+			cells = append(cells, experiment.Cell{
+				Tree: tree, Policy: mercury.PolicyPerfect, Component: comp,
+			})
+		}
+	}
+	return cells
+}
+
+// table4Cells mirrors the full Table 4 grid (six tree/oracle rows).
+func table4Cells() []experiment.Cell {
+	var cells []experiment.Cell
+	for _, spec := range experiment.Table4Rows() {
+		comps := []string{"mbus", "ses", "str", "rtu", "fedr", "pbcom"}
+		if spec.Tree == "I" || spec.Tree == "II" {
+			comps = []string{"mbus", "ses", "str", "rtu", "fedrcom"}
+		}
+		for _, comp := range comps {
+			var cure []string
+			if comp == "pbcom" && spec.Policy == mercury.PolicyFaulty {
+				cure = []string{"fedr", "pbcom"}
+			}
+			cells = append(cells, experiment.Cell{
+				Tree: spec.Tree, Policy: spec.Policy, FaultyP: spec.FaultyP,
+				Component: comp, Cure: cure,
+			})
+		}
+	}
+	return cells
+}
+
+// runBench measures the kernel and both table campaigns, prints the record
+// and appends it to outPath.
+func runBench(o options, outPath string) error {
+	run := perfRun{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Label:     o.benchLabel,
+		Go:        runtime.Version(),
+		Seed:      o.seed,
+	}
+	// Trial counts are capped: the point is a stable per-event rate, not
+	// tight confidence intervals on MTTR.
+	trials := o.trials
+	if trials > 10 {
+		trials = 10
+	}
+
+	kr, err := benchKernel(2_000_000)
+	if err != nil {
+		return err
+	}
+	run.Records = append(run.Records, kr)
+
+	t2, err := benchCells("table2", table2Cells(), trials, o.seed)
+	if err != nil {
+		return err
+	}
+	run.Records = append(run.Records, t2)
+
+	t4, err := benchCells("table4", table4Cells(), trials, o.seed)
+	if err != nil {
+		return err
+	}
+	run.Records = append(run.Records, t4)
+
+	for _, r := range run.Records {
+		fmt.Printf("%-14s %12d events  %8.3fs  %12.0f events/s  %7.1f ns/event  %6.3f allocs/event\n",
+			r.Name, r.Events, r.WallSeconds, r.EventsPerSec, r.NsPerEvent, r.AllocsPerEvent)
+	}
+	return appendPerfRun(outPath, run)
+}
+
+// appendPerfRun appends run to the JSON array in path (creating it if
+// needed), preserving prior records so the file is a perf trajectory.
+func appendPerfRun(path string, run perfRun) error {
+	var history []perfRun
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &history); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// first run: start a new history
+	default:
+		return err
+	}
+	history = append(history, run)
+	out, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("appended perf record to %s (%d runs)\n", path, len(history))
+	return nil
+}

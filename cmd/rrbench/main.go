@@ -8,12 +8,21 @@
 //	rrbench -table 4 -json       # machine-readable output
 //	rrbench -fig 5               # render the tree of figure 5
 //	rrbench -headline            # the §8 "factor of four" computation
+//	rrbench -bench               # substrate perf record → BENCH_RESULTS.json
+//	rrbench -all -cpuprofile cpu.pb.gz   # profile a full regeneration
 //
 // Trials fan out across a worker pool (-parallel, default one worker per
 // CPU); results are folded in seed order, so every measured number is
 // identical to a sequential run. -json replaces the rendered tables with
 // one JSON document on stdout for machine consumption (benchmark
 // trajectories, regression tracking); the ASCII figures are omitted.
+//
+// -cpuprofile and -memprofile write pprof profiles covering whatever work
+// the other flags select. -bench measures the simulation substrate itself
+// (kernel stepping, Table 2/4 recovery campaigns) and appends one
+// machine-readable record — events/sec, ns/event, allocs/event — to
+// -benchout (default BENCH_RESULTS.json), growing the repo's perf
+// trajectory.
 package main
 
 import (
@@ -22,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/recursive-restart/mercury/internal/experiment"
@@ -30,26 +41,59 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "regenerate table N (1-4)")
-		fig      = flag.Int("fig", 0, "render figure N (1-6)")
-		headline = flag.Bool("headline", false, "compute the §8 improvement factor")
-		soak     = flag.Bool("soak", false, "organic-failure availability soak (trees I vs IV)")
-		rejuv    = flag.Bool("rejuv", false, "§4.4 free-restart rejuvenation MTTF comparison")
-		sweep    = flag.Bool("sweep", false, "oracle-quality sweep: tree IV vs V across error rates")
-		manual   = flag.Bool("manual", false, "pre-RR manual-operator baseline vs automated recovery")
-		all      = flag.Bool("all", false, "regenerate everything")
-		trials   = flag.Int("trials", experiment.DefaultTrials, "trials per measured cell")
-		seed     = flag.Int64("seed", 2002, "base random seed")
-		parallel = flag.Int("parallel", 0, "trial workers (0 = one per CPU, 1 = sequential)")
-		jsonOut  = flag.Bool("json", false, "emit one JSON document instead of rendered tables")
+		table      = flag.Int("table", 0, "regenerate table N (1-4)")
+		fig        = flag.Int("fig", 0, "render figure N (1-6)")
+		headline   = flag.Bool("headline", false, "compute the §8 improvement factor")
+		soak       = flag.Bool("soak", false, "organic-failure availability soak (trees I vs IV)")
+		rejuv      = flag.Bool("rejuv", false, "§4.4 free-restart rejuvenation MTTF comparison")
+		sweep      = flag.Bool("sweep", false, "oracle-quality sweep: tree IV vs V across error rates")
+		manual     = flag.Bool("manual", false, "pre-RR manual-operator baseline vs automated recovery")
+		all        = flag.Bool("all", false, "regenerate everything")
+		trials     = flag.Int("trials", experiment.DefaultTrials, "trials per measured cell")
+		seed       = flag.Int64("seed", 2002, "base random seed")
+		parallel   = flag.Int("parallel", 0, "trial workers (0 = one per CPU, 1 = sequential)")
+		jsonOut    = flag.Bool("json", false, "emit one JSON document instead of rendered tables")
+		bench      = flag.Bool("bench", false, "measure substrate throughput and append a perf record")
+		benchOut   = flag.String("benchout", "BENCH_RESULTS.json", "perf-record file for -bench")
+		benchLabel = flag.String("benchlabel", "", "free-form label stored with the -bench record")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	opts := options{
 		table: *table, fig: *fig, headline: *headline, soak: *soak,
 		rejuv: *rejuv, sweep: *sweep, manual: *manual, all: *all,
 		trials: *trials, seed: *seed, parallel: *parallel, json: *jsonOut,
+		bench: *bench, benchOut: *benchOut, benchLabel: *benchLabel,
 	}
-	if err := run(opts); err != nil {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rrbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rrbench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+	err := run(opts)
+	if *memProf != "" {
+		if f, ferr := os.Create(*memProf); ferr != nil {
+			fmt.Fprintln(os.Stderr, "rrbench:", ferr)
+		} else {
+			runtime.GC()
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				fmt.Fprintln(os.Stderr, "rrbench:", werr)
+			}
+			_ = f.Close()
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rrbench:", err)
 		os.Exit(1)
 	}
@@ -62,6 +106,9 @@ type options struct {
 	seed                                      int64
 	parallel                                  int
 	json                                      bool
+	bench                                     bool
+	benchOut                                  string
+	benchLabel                                string
 }
 
 // sampleJSON is one measured cell in machine-readable form.
@@ -165,9 +212,12 @@ type report struct {
 }
 
 func run(o options) error {
+	if o.bench {
+		return runBench(o, o.benchOut)
+	}
 	if !o.all && o.table == 0 && o.fig == 0 && !o.headline && !o.soak && !o.rejuv && !o.sweep && !o.manual {
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -all, -table, -fig, -headline, -soak, -rejuv, -sweep or -manual")
+		return fmt.Errorf("nothing to do: pass -all, -table, -fig, -headline, -soak, -rejuv, -sweep, -manual or -bench")
 	}
 	ctx := context.Background()
 	rc := experiment.RunConfig{Trials: o.trials, BaseSeed: o.seed, Workers: o.parallel}

@@ -32,6 +32,11 @@ type Stats struct {
 // Sim is the simulated message fabric. Messages between ordinary
 // components take two hops (to the broker, then to the destination), each
 // costing Latency; dedicated-link messages take one hop.
+//
+// Like the proc.Manager it delivers into, Sim is not internally
+// synchronised: Send and the scheduled hops must run on one dispatch
+// context (the event kernel), which also makes the delivery-event pool
+// safe.
 type Sim struct {
 	clk    clock.Clock
 	mgr    *proc.Manager
@@ -43,6 +48,10 @@ type Sim struct {
 	// direct holds addresses joined by dedicated links; any message whose
 	// From and To are both direct bypasses the broker.
 	direct map[string]bool
+
+	// pool recycles delivery events so steady-state routing allocates
+	// nothing: each in-flight message holds one event through both hops.
+	pool []*deliveryEvent
 
 	stats Stats
 }
@@ -76,43 +85,75 @@ func (b *Sim) Send(m *xmlcmd.Message) {
 	b.stats.Sent++
 	if b.direct[m.From] && b.direct[m.To] {
 		b.stats.DirectSent++
-		b.clk.AfterFunc(b.Latency, func() {
-			if b.mgr.Deliver(m) {
-				b.stats.Delivered++
-			} else {
-				b.stats.DroppedDest++
-			}
-		})
+		b.clk.Schedule(b.Latency, b.acquire(m, hopDeliver))
 		return
 	}
 	// Hop 1: reach the broker. Messages to or from the broker itself are
 	// single-hop (the broker terminates them locally).
 	if m.To == b.broker || m.From == b.broker {
-		b.clk.AfterFunc(b.Latency, func() {
-			if b.mgr.Deliver(m) {
-				b.stats.Delivered++
-			} else {
-				b.stats.DroppedDest++
-			}
-		})
+		b.clk.Schedule(b.Latency, b.acquire(m, hopDeliver))
 		return
 	}
-	b.clk.AfterFunc(b.Latency, func() {
+	b.clk.Schedule(b.Latency, b.acquire(m, hopBroker))
+}
+
+// Delivery hops.
+const (
+	// hopDeliver is the final hop: hand the message to its destination.
+	hopDeliver = iota
+	// hopBroker is the first hop of a routed message: the broker, if
+	// serving, forwards to the destination; otherwise the message is lost.
+	hopBroker
+)
+
+// deliveryEvent is one message's journey across the fabric, prebound with
+// everything a hop needs so no closure is allocated per Send. The same
+// event is rescheduled from the broker hop to the final hop and returned to
+// the bus pool once the message is delivered or dropped.
+type deliveryEvent struct {
+	b   *Sim
+	m   *xmlcmd.Message
+	hop int
+}
+
+var _ clock.Event = (*deliveryEvent)(nil)
+
+// Fire advances the message by one hop.
+func (e *deliveryEvent) Fire() {
+	b := e.b
+	if e.hop == hopBroker {
 		// The broker must be accepting traffic to route. A broker that is
 		// starting up or dead loses the message.
 		if !b.mgr.Serving(b.broker) {
 			b.stats.DroppedBroker++
+			b.release(e)
 			return
 		}
-		// Hop 2: broker forwards to the destination.
-		b.clk.AfterFunc(b.Latency, func() {
-			if b.mgr.Deliver(m) {
-				b.stats.Delivered++
-			} else {
-				b.stats.DroppedDest++
-			}
-		})
-	})
+		e.hop = hopDeliver
+		b.clk.Schedule(b.Latency, e)
+		return
+	}
+	if b.mgr.Deliver(e.m) {
+		b.stats.Delivered++
+	} else {
+		b.stats.DroppedDest++
+	}
+	b.release(e)
+}
+
+func (b *Sim) acquire(m *xmlcmd.Message, hop int) *deliveryEvent {
+	if n := len(b.pool); n > 0 {
+		e := b.pool[n-1]
+		b.pool = b.pool[:n-1]
+		e.m, e.hop = m, hop
+		return e
+	}
+	return &deliveryEvent{b: b, m: m, hop: hop}
+}
+
+func (b *Sim) release(e *deliveryEvent) {
+	e.m = nil
+	b.pool = append(b.pool, e)
 }
 
 // Broker is the mbus broker component itself: the process that, when

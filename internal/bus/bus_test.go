@@ -190,3 +190,170 @@ func TestPingPongRoundTripOverBus(t *testing.T) {
 		t.Fatalf("fd received %v", fd.received)
 	}
 }
+
+// quietComp becomes ready instantly and never replies — so Send alloc
+// measurements see only the fabric, not handler responses.
+type quietComp struct{}
+
+func (quietComp) Start(ctx proc.Context)                { ctx.After(0, ctx.Ready) }
+func (quietComp) Receive(proc.Context, *xmlcmd.Message) {}
+
+// TestSendAllocsRouted pins the closure-free routing path: once the
+// delivery-event pool and kernel arena are warm, a routed Send (two hops
+// through the broker) plus its delivery allocates nothing.
+func TestSendAllocsRouted(t *testing.T) {
+	k := sim.New(5)
+	mgr := proc.NewManager(clock.Sim{K: k}, rand.New(rand.NewSource(2)), trace.NewLog())
+	b := NewSim(clock.Sim{K: k}, mgr, "mbus")
+	mgr.SetTransport(b)
+	if err := mgr.Register("mbus", BrokerHandler(100*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Register("a", func() proc.Handler { return quietComp{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.StartBatch(mgr.Names()); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := xmlcmd.NewEvent("b", "a", 1, "x", "")
+	warm := func() {
+		b.Send(m)
+		if err := k.RunFor(time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		warm()
+	}
+	if allocs := testing.AllocsPerRun(200, warm); allocs != 0 {
+		t.Fatalf("routed Send allocates %.1f objects/op, want 0", allocs)
+	}
+	if b.Stats().Delivered == 0 {
+		t.Fatal("no message delivered; the measurement is vacuous")
+	}
+}
+
+// TestSendAllocsDirect pins the same property for dedicated-link traffic.
+func TestSendAllocsDirect(t *testing.T) {
+	k := sim.New(5)
+	mgr := proc.NewManager(clock.Sim{K: k}, rand.New(rand.NewSource(2)), trace.NewLog())
+	b := NewSim(clock.Sim{K: k}, mgr, "mbus")
+	mgr.SetTransport(b)
+	if err := mgr.Register("fd", func() proc.Handler { return quietComp{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Register("rec", func() proc.Handler { return quietComp{} }); err != nil {
+		t.Fatal(err)
+	}
+	b.AddDirectLink("fd", "rec")
+	if err := mgr.StartBatch(mgr.Names()); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := xmlcmd.NewEvent("rec", "fd", 1, "report", "")
+	warm := func() {
+		b.Send(m)
+		if err := k.RunFor(time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		warm()
+	}
+	if allocs := testing.AllocsPerRun(200, warm); allocs != 0 {
+		t.Fatalf("direct-link Send allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestBrokerDropReleasesEvent exercises the pool's broker-drop path: a
+// message lost at a dead broker must return its delivery event to the pool
+// (steady-state drops allocate nothing either).
+func TestBrokerDropReleasesEvent(t *testing.T) {
+	r := newRig(t)
+	r.addEcho(t, "a")
+	r.addEcho(t, "b")
+	r.startAll(t)
+	if err := r.mgr.Kill("mbus", "test kill"); err != nil {
+		t.Fatal(err)
+	}
+	m := xmlcmd.NewEvent("b", "a", 1, "lost", "")
+	warm := func() {
+		r.bus.Send(m)
+		if err := r.k.RunFor(time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		warm()
+	}
+	if allocs := testing.AllocsPerRun(200, warm); allocs != 0 {
+		t.Fatalf("dropped Send allocates %.1f objects/op, want 0", allocs)
+	}
+	if got := r.bus.Stats().DroppedBroker; got == 0 {
+		t.Fatal("no broker drops recorded; the measurement is vacuous")
+	}
+}
+
+// BenchmarkSendRouted measures the two-hop fabric path end to end.
+func BenchmarkSendRouted(b *testing.B) {
+	k := sim.New(5)
+	mgr := proc.NewManager(clock.Sim{K: k}, rand.New(rand.NewSource(2)), trace.NewLog())
+	bus := NewSim(clock.Sim{K: k}, mgr, "mbus")
+	mgr.SetTransport(bus)
+	if err := mgr.Register("mbus", BrokerHandler(100*time.Millisecond)); err != nil {
+		b.Fatal(err)
+	}
+	if err := mgr.Register("a", func() proc.Handler { return quietComp{} }); err != nil {
+		b.Fatal(err)
+	}
+	if err := mgr.StartBatch(mgr.Names()); err != nil {
+		b.Fatal(err)
+	}
+	if err := k.RunFor(time.Second); err != nil {
+		b.Fatal(err)
+	}
+	m := xmlcmd.NewEvent("b", "a", 1, "x", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Send(m)
+		if err := k.RunFor(20 * time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSendDirect measures the dedicated-link path.
+func BenchmarkSendDirect(b *testing.B) {
+	k := sim.New(5)
+	mgr := proc.NewManager(clock.Sim{K: k}, rand.New(rand.NewSource(2)), trace.NewLog())
+	bus := NewSim(clock.Sim{K: k}, mgr, "mbus")
+	mgr.SetTransport(bus)
+	if err := mgr.Register("fd", func() proc.Handler { return quietComp{} }); err != nil {
+		b.Fatal(err)
+	}
+	if err := mgr.Register("rec", func() proc.Handler { return quietComp{} }); err != nil {
+		b.Fatal(err)
+	}
+	bus.AddDirectLink("fd", "rec")
+	if err := mgr.StartBatch(mgr.Names()); err != nil {
+		b.Fatal(err)
+	}
+	if err := k.RunFor(time.Second); err != nil {
+		b.Fatal(err)
+	}
+	m := xmlcmd.NewEvent("rec", "fd", 1, "report", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Send(m)
+		if err := k.RunFor(20 * time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

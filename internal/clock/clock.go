@@ -19,6 +19,10 @@ type Timer interface {
 	Stop() bool
 }
 
+// Event is a prebound, fire-and-forget callback for the Schedule fast path
+// (an alias of the kernel's event type so both layers share one contract).
+type Event = sim.Event
+
 // Clock is the time facility given to every actor in the system.
 type Clock interface {
 	// Now returns the current instant.
@@ -26,6 +30,12 @@ type Clock interface {
 	// AfterFunc schedules fn to run after d. fn runs on the runtime's
 	// dispatch context; actors must not block inside it.
 	AfterFunc(d time.Duration, fn func()) Timer
+	// Schedule runs ev.Fire after d on the same dispatch context. It is
+	// the allocation-lean path for high-volume fire-and-forget work (bus
+	// hops): no Timer handle, no closure. Under the simulation kernel a
+	// pooled Event costs zero allocations; real-time clocks emulate it
+	// with AfterFunc.
+	Schedule(d time.Duration, ev Event)
 }
 
 // Sim adapts a simulation kernel to the Clock interface.
@@ -43,6 +53,9 @@ func (s Sim) AfterFunc(d time.Duration, fn func()) Timer {
 	return s.K.AfterFunc(d, fn)
 }
 
+// Schedule forwards to the kernel's zero-allocation fast path.
+func (s Sim) Schedule(d time.Duration, ev Event) { s.K.Schedule(d, ev) }
+
 // Real is a Clock backed by the machine clock. Callbacks fire on their own
 // goroutines via time.AfterFunc; callers serialise via their own dispatch.
 type Real struct{}
@@ -56,6 +69,10 @@ func (Real) Now() time.Time { return time.Now() }
 func (Real) AfterFunc(d time.Duration, fn func()) Timer {
 	return realTimer{t: time.AfterFunc(d, fn)}
 }
+
+// Schedule emulates the fast path with time.AfterFunc; wall-clock runs do
+// not need the allocation guarantee.
+func (Real) Schedule(d time.Duration, ev Event) { time.AfterFunc(d, ev.Fire) }
 
 type realTimer struct{ t *time.Timer }
 
@@ -77,11 +94,20 @@ func (s Scaled) Now() time.Time { return s.Inner.Now() }
 
 // AfterFunc schedules fn after d divided by Factor.
 func (s Scaled) AfterFunc(d time.Duration, fn func()) Timer {
+	return s.Inner.AfterFunc(s.compress(d), fn)
+}
+
+// Schedule forwards the fast path with the same compression.
+func (s Scaled) Schedule(d time.Duration, ev Event) {
+	s.Inner.Schedule(s.compress(d), ev)
+}
+
+func (s Scaled) compress(d time.Duration) time.Duration {
 	f := s.Factor
 	if f <= 0 {
 		f = 1
 	}
-	return s.Inner.AfterFunc(time.Duration(float64(d)/f), fn)
+	return time.Duration(float64(d) / f)
 }
 
 // Ticker repeatedly invokes fn every period until stopped. It is built on
@@ -91,6 +117,7 @@ type Ticker struct {
 	clk     Clock
 	period  time.Duration
 	fn      func()
+	tickFn  func() // t.tick bound once, so re-arming allocates no closure
 	timer   Timer
 	stopped bool
 }
@@ -99,12 +126,13 @@ type Ticker struct {
 // happens one period from now.
 func NewTicker(clk Clock, period time.Duration, fn func()) *Ticker {
 	t := &Ticker{clk: clk, period: period, fn: fn}
+	t.tickFn = t.tick
 	t.arm()
 	return t
 }
 
 func (t *Ticker) arm() {
-	t.timer = t.clk.AfterFunc(t.period, t.tick)
+	t.timer = t.clk.AfterFunc(t.period, t.tickFn)
 }
 
 func (t *Ticker) tick() {

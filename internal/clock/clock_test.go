@@ -102,6 +102,59 @@ func TestRealClockAfterFunc(t *testing.T) {
 	}
 }
 
+// chanEvent is a minimal Event for exercising Schedule paths.
+type chanEvent struct {
+	fired int
+	done  chan struct{}
+}
+
+func (e *chanEvent) Fire() {
+	e.fired++
+	if e.done != nil {
+		close(e.done)
+	}
+}
+
+func TestSimSchedule(t *testing.T) {
+	k := sim.New(1)
+	c := Sim{K: k}
+	ev := &chanEvent{}
+	c.Schedule(3*time.Second, ev)
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ev.fired != 1 {
+		t.Fatalf("fired = %d, want 1", ev.fired)
+	}
+	if got := k.Now().Sub(sim.Epoch); got != 3*time.Second {
+		t.Fatalf("fired at +%v, want +3s", got)
+	}
+}
+
+func TestScaledSchedule(t *testing.T) {
+	k := sim.New(1)
+	c := Scaled{Inner: Sim{K: k}, Factor: 10}
+	ev := &chanEvent{}
+	c.Schedule(10*time.Second, ev)
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := k.Now().Sub(sim.Epoch); got != time.Second {
+		t.Fatalf("scaled Schedule delay = %v, want 1s", got)
+	}
+}
+
+func TestRealSchedule(t *testing.T) {
+	c := Real{}
+	ev := &chanEvent{done: make(chan struct{})}
+	c.Schedule(time.Millisecond, ev)
+	select {
+	case <-ev.done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real Schedule never fired")
+	}
+}
+
 func TestJitterBounds(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	base := 10 * time.Second

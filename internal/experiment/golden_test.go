@@ -1,0 +1,63 @@
+package experiment
+
+// Golden-value determinism gate for the kernel optimization work: the fully
+// rendered Table 2 and Table 4 must stay byte-identical across kernel and
+// bus internals changes for a fixed seed. The golden files were generated
+// from the pre-optimization (container/heap, time.Time, closure-routing)
+// kernel; run with -update only when an intentional behaviour change is
+// being made, and say so in the commit.
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s output diverged from golden:\n--- golden\n%s\n--- got\n%s", name, want, got)
+	}
+}
+
+func TestTable2Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Table2Cfg(context.Background(), RunConfig{Trials: 3, BaseSeed: 2002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "table2.golden",
+		RenderRows(rows, "Table 2 — tree II recovery: detection + recovery time (s)"))
+}
+
+func TestTable4Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Table4Cfg(context.Background(), RunConfig{Trials: 3, BaseSeed: 2002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "table4.golden",
+		RenderRows(rows, "Table 4 — overall MTTRs (s); rows are tree/oracle, columns failed components"))
+}

@@ -119,6 +119,7 @@ type Process struct {
 	state       State
 	gen         int
 	handler     Handler
+	ctx         *procCtx // this incarnation's context, shared by all deliveries
 	silenced    bool
 	stretch     float64
 	startedAt   time.Time
@@ -372,9 +373,7 @@ func (m *Manager) Deliver(msg *xmlcmd.Message) bool {
 	if !ok || !m.Accepting(msg.To) {
 		return false
 	}
-	gen := p.gen
-	h := p.handler
-	h.Receive(&procCtx{p: p, gen: gen}, msg)
+	p.handler.Receive(p.ctx, msg)
 	return true
 }
 
@@ -415,8 +414,8 @@ func (p *Process) start(stretch float64) {
 	p.handler = p.factory()
 	p.mgr.log.Add(p.startedAt, trace.ComponentStarting, p.name, "",
 		fmt.Sprintf("incarnation=%d stretch=%.3f", p.gen, stretch))
-	gen := p.gen
-	p.handler.Start(&procCtx{p: p, gen: gen})
+	p.ctx = &procCtx{p: p, gen: p.gen}
+	p.handler.Start(p.ctx)
 }
 
 // die terminates the current incarnation. OnDown listeners fire for every

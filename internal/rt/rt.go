@@ -110,6 +110,19 @@ func (c Clock) AfterFunc(d time.Duration, fn func()) clock.Timer {
 	return rtTimer{t}
 }
 
+// Schedule emulates the kernel's fast path: ev.Fire is posted to the
+// dispatcher after d/Scale. Wall-clock runs don't need the allocation
+// guarantee, so a closure here is fine.
+func (c Clock) Schedule(d time.Duration, ev clock.Event) {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	time.AfterFunc(time.Duration(float64(d)/s), func() {
+		c.D.Post(ev.Fire)
+	})
+}
+
 type rtTimer struct{ t *time.Timer }
 
 func (r rtTimer) Stop() bool { return r.t.Stop() }

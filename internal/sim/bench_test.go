@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkStepChain measures the steady-state hot path: one AfterFunc +
+// one Step per op, the pattern every simulated actor generates. With the
+// int64 heap and slot recycling this is zero-allocation.
+func BenchmarkStepChain(b *testing.B) {
+	k := New(1)
+	var fn func()
+	fn = func() { k.AfterFunc(time.Millisecond, fn) }
+	k.AfterFunc(0, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+}
+
+// BenchmarkScheduleChain measures the closure-free Event fast path.
+func BenchmarkScheduleChain(b *testing.B) {
+	k := New(1)
+	ev := &reschedulingEvent{k: k}
+	k.Schedule(0, ev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+}
+
+// BenchmarkDeepHeap measures stepping with a standing population of timers
+// (the shape of a full station: many armed pings/timeouts per event fired).
+func BenchmarkDeepHeap(b *testing.B) {
+	for _, depth := range []int{64, 1024, 16384} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			k := New(1)
+			var fn func()
+			fn = func() { k.AfterFunc(time.Duration(1+k.rng.Intn(1000))*time.Millisecond, fn) }
+			for i := 0; i < depth; i++ {
+				k.AfterFunc(time.Duration(k.rng.Intn(1000))*time.Millisecond, fn)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkTimerStop measures schedule + cancel, the failure-detector
+// pattern (arm a timeout, stop it when the pong arrives).
+func BenchmarkTimerStop(b *testing.B) {
+	k := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.AfterFunc(time.Second, fn).Stop()
+	}
+}

@@ -256,3 +256,218 @@ func TestEventsScheduledDuringRun(t *testing.T) {
 		t.Fatalf("hits = %v, want [2s]", hits)
 	}
 }
+
+// countEvent is a test Event carrying a prebound counter.
+type countEvent struct {
+	k   *Kernel
+	out *[]int
+	v   int
+}
+
+func (e *countEvent) Fire() { *e.out = append(*e.out, e.v) }
+
+func TestScheduleInterleavesWithAfterFunc(t *testing.T) {
+	k := New(1)
+	var order []int
+	k.AfterFunc(time.Second, func() { order = append(order, 1) })
+	k.Schedule(time.Second, &countEvent{k: k, out: &order, v: 2})
+	k.AfterFunc(time.Second, func() { order = append(order, 3) })
+	k.Schedule(500*time.Millisecond, &countEvent{k: k, out: &order, v: 0})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v (Schedule must share the seq tie-break)", order, want)
+		}
+	}
+}
+
+func TestMaxEventsExact(t *testing.T) {
+	k := New(1)
+	k.SetMaxEvents(100)
+	var loop func()
+	loop = func() { k.AfterFunc(time.Millisecond, loop) }
+	k.AfterFunc(0, loop)
+	if err := k.Run(); err != ErrRunaway {
+		t.Fatalf("err = %v, want ErrRunaway", err)
+	}
+	if k.Executed() != 100 {
+		t.Fatalf("executed = %d, want exactly 100 (budget must be checked before executing)", k.Executed())
+	}
+}
+
+func TestMaxEventsExactRunUntil(t *testing.T) {
+	k := New(1)
+	k.SetMaxEvents(10)
+	var loop func()
+	loop = func() { k.AfterFunc(time.Millisecond, loop) }
+	k.AfterFunc(0, loop)
+	if err := k.RunUntil(Epoch.Add(time.Hour)); err != ErrRunaway {
+		t.Fatalf("err = %v, want ErrRunaway", err)
+	}
+	if k.Executed() != 10 {
+		t.Fatalf("executed = %d, want exactly 10", k.Executed())
+	}
+}
+
+func TestMaxEventsExactRunWhile(t *testing.T) {
+	k := New(1)
+	k.SetMaxEvents(10)
+	var loop func()
+	loop = func() { k.AfterFunc(time.Millisecond, loop) }
+	k.AfterFunc(0, loop)
+	if err := k.RunWhile(func() bool { return true }); err != ErrRunaway {
+		t.Fatalf("err = %v, want ErrRunaway", err)
+	}
+	if k.Executed() != 10 {
+		t.Fatalf("executed = %d, want exactly 10", k.Executed())
+	}
+}
+
+func TestMaxEventsAllowsExactBudget(t *testing.T) {
+	// A run that needs exactly maxEvents events must complete without error.
+	k := New(1)
+	k.SetMaxEvents(10)
+	for i := 0; i < 10; i++ {
+		k.AfterFunc(time.Duration(i)*time.Second, func() {})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run with exactly-budget work: %v", err)
+	}
+	if k.Executed() != 10 {
+		t.Fatalf("executed = %d, want 10", k.Executed())
+	}
+}
+
+func TestStopOfRecycledSlotIsNoOp(t *testing.T) {
+	k := New(1)
+	firedA, firedB := false, false
+	tmA := k.AfterFunc(time.Second, func() { firedA = true })
+	if !k.Step() {
+		t.Fatal("Step found no event")
+	}
+	if !firedA {
+		t.Fatal("A did not fire")
+	}
+	// B reuses A's just-recycled slot; the stale handle must not touch it.
+	k.AfterFunc(time.Second, func() { firedB = true })
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	if tmA.Stop() {
+		t.Fatal("Stop of a fired timer (recycled slot) returned true")
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("stale Stop changed pending: %d", k.Pending())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !firedB {
+		t.Fatal("stale Stop cancelled the slot's new occupant")
+	}
+}
+
+func TestStopTwiceThenReuse(t *testing.T) {
+	k := New(1)
+	tm := k.AfterFunc(time.Second, func() { t.Fatal("stopped timer fired") })
+	if !tm.Stop() {
+		t.Fatal("first Stop returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	fired := false
+	k.AfterFunc(2*time.Second, func() { fired = true })
+	if tm.Stop() {
+		t.Fatal("Stop after slot reuse returned true")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("reused slot's event did not fire")
+	}
+}
+
+func TestZeroTimerStop(t *testing.T) {
+	var tm Timer
+	if tm.Stop() {
+		t.Fatal("zero Timer Stop returned true")
+	}
+}
+
+func TestPendingCountsStops(t *testing.T) {
+	k := New(1)
+	tms := make([]Timer, 5)
+	for i := range tms {
+		tms[i] = k.AfterFunc(time.Duration(i+1)*time.Second, func() {})
+	}
+	if k.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", k.Pending())
+	}
+	tms[1].Stop()
+	tms[3].Stop()
+	if k.Pending() != 3 {
+		t.Fatalf("pending after stops = %d, want 3", k.Pending())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("pending after drain = %d, want 0", k.Pending())
+	}
+}
+
+// TestSteadyStateStepAllocs pins the tentpole property: once the heap and
+// slot arena are warm, AfterFunc+Step performs no heap allocation.
+func TestSteadyStateStepAllocs(t *testing.T) {
+	k := New(1)
+	var fn func()
+	fn = func() { k.AfterFunc(time.Millisecond, fn) }
+	k.AfterFunc(0, fn)
+	for i := 0; i < 64; i++ { // warm the free list and heap capacity
+		k.Step()
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { k.Step() }); allocs != 0 {
+		t.Fatalf("steady-state AfterFunc+Step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestSteadyStateScheduleAllocs pins the same property for the Schedule
+// fast path with a reused Event.
+func TestSteadyStateScheduleAllocs(t *testing.T) {
+	k := New(1)
+	ev := &reschedulingEvent{}
+	ev.k = k
+	k.Schedule(0, ev)
+	for i := 0; i < 64; i++ {
+		k.Step()
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { k.Step() }); allocs != 0 {
+		t.Fatalf("steady-state Schedule+Step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+type reschedulingEvent struct{ k *Kernel }
+
+func (e *reschedulingEvent) Fire() { e.k.Schedule(time.Millisecond, e) }
+
+// TestArmStopChurnBounded pins the compaction property: endless
+// arm-then-stop cycles (the failure-detector pattern) must not grow the
+// event queue without bound.
+func TestArmStopChurnBounded(t *testing.T) {
+	k := New(1)
+	fn := func() {}
+	for i := 0; i < 100_000; i++ {
+		k.AfterFunc(time.Second, fn).Stop()
+	}
+	if len(k.heap) > 1024 {
+		t.Fatalf("heap holds %d entries after pure arm/stop churn, want bounded (stale entries must be compacted)", len(k.heap))
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", k.Pending())
+	}
+}

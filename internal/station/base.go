@@ -93,3 +93,6 @@ func (t tickClock) Now() time.Time { return t.ctx.Now() }
 func (t tickClock) AfterFunc(d time.Duration, fn func()) clock.Timer {
 	return t.ctx.After(d, fn)
 }
+func (t tickClock) Schedule(d time.Duration, ev clock.Event) {
+	t.ctx.After(d, ev.Fire)
+}
