@@ -10,6 +10,8 @@
 //	rrbench -headline            # the §8 "factor of four" computation
 //	rrbench -bench               # substrate perf record → BENCH_RESULTS.json
 //	rrbench -all -cpuprofile cpu.pb.gz   # profile a full regeneration
+//	rrbench chaos                # degraded-network sweep (loss × tree × SuspectAfter)
+//	rrbench chaos -loss 0.1 -trees IV -json   # one lossy cell, machine-readable
 //
 // Trials fan out across a worker pool (-parallel, default one worker per
 // CPU); results are folded in seed order, so every measured number is
@@ -40,6 +42,15 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch ahead of the classic flag CLI: `rrbench chaos`
+	// owns its own flag set.
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		if err := runChaos(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "rrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		table      = flag.Int("table", 0, "regenerate table N (1-4)")
 		fig        = flag.Int("fig", 0, "render figure N (1-6)")

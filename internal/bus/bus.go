@@ -27,6 +27,8 @@ type Stats struct {
 	DroppedBroker int // lost because mbus was not serving
 	DroppedDest   int // lost because the destination was not accepting
 	DirectSent    int // messages on dedicated links
+	DroppedChaos  int // lost to the chaos layer's per-hop loss
+	Duplicated    int // hops duplicated by the chaos layer
 }
 
 // Sim is the simulated message fabric. Messages between ordinary
@@ -52,6 +54,11 @@ type Sim struct {
 	// pool recycles delivery events so steady-state routing allocates
 	// nothing: each in-flight message holds one event through both hops.
 	pool []*deliveryEvent
+
+	// chaosDefault/chaosLinks model a degraded fabric (see chaos.go);
+	// both nil means the historical perfect fabric.
+	chaosDefault *ChaosProfile
+	chaosLinks   map[linkKey]*ChaosProfile
 
 	stats Stats
 }
@@ -85,16 +92,16 @@ func (b *Sim) Send(m *xmlcmd.Message) {
 	b.stats.Sent++
 	if b.direct[m.From] && b.direct[m.To] {
 		b.stats.DirectSent++
-		b.clk.Schedule(b.Latency, b.acquire(m, hopDeliver))
+		b.sendHop(m, hopDeliver, m.From, m.To)
 		return
 	}
 	// Hop 1: reach the broker. Messages to or from the broker itself are
 	// single-hop (the broker terminates them locally).
 	if m.To == b.broker || m.From == b.broker {
-		b.clk.Schedule(b.Latency, b.acquire(m, hopDeliver))
+		b.sendHop(m, hopDeliver, m.From, m.To)
 		return
 	}
-	b.clk.Schedule(b.Latency, b.acquire(m, hopBroker))
+	b.sendHop(m, hopBroker, m.From, b.broker)
 }
 
 // Delivery hops.
@@ -129,8 +136,12 @@ func (e *deliveryEvent) Fire() {
 			b.release(e)
 			return
 		}
-		e.hop = hopDeliver
-		b.clk.Schedule(b.Latency, e)
+		// Second hop, broker → destination, under that link's chaos.
+		// Releasing first keeps the pool at one event per clean in-flight
+		// message: sendHop's acquire pops this same event straight back.
+		m := e.m
+		b.release(e)
+		b.sendHop(m, hopDeliver, b.broker, m.To)
 		return
 	}
 	if b.mgr.Deliver(e.m) {

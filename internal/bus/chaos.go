@@ -1,0 +1,124 @@
+package bus
+
+import (
+	"fmt"
+
+	"github.com/recursive-restart/mercury/internal/fault"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// This file is the bus chaos layer: a seeded, deterministic model of a
+// *degraded* (rather than dead) network. The paper's failure model is
+// clean fail-silent over a perfect mbus; real fabrics lose, delay and
+// duplicate frames without any component being at fault. The chaos layer
+// wraps every physical hop of the simulated fabric with a per-link
+// ChaosProfile so experiments can measure how the detection/recovery
+// stack behaves as channel quality degrades.
+//
+// Determinism: all chaos draws come from the process manager's RNG — the
+// same stream every other simulated decision uses — and happen on the
+// single kernel dispatch context, so a seeded trial is bit-identical run
+// to run (and across the parallel runner). When no profile is installed
+// the delivery path takes the exact pre-chaos schedule with zero extra
+// RNG draws and zero allocations, which is what keeps the Table 2/4
+// golden traces byte-identical.
+
+// ChaosProfile describes one link's degradation. The zero value is a
+// perfect link.
+type ChaosProfile struct {
+	// Loss is the per-hop probability a frame is silently dropped.
+	// A routed message crosses two hops (sender→mbus, mbus→dest) and is
+	// exposed twice; dedicated-link traffic crosses one.
+	Loss float64
+	// Dup is the per-hop probability a frame is delivered twice (e.g. a
+	// retransmission whose original was not actually lost). Each copy is
+	// then subject to Loss and Jitter independently.
+	Dup float64
+	// Jitter, when non-nil, adds a sampled extra delay to the hop's base
+	// Latency. Because each frame samples independently, a large jitter
+	// reorders frames — the bus makes no FIFO promise under chaos.
+	Jitter fault.Law
+}
+
+// active reports whether the profile perturbs anything.
+func (p *ChaosProfile) active() bool {
+	return p != nil && (p.Loss > 0 || p.Dup > 0 || p.Jitter != nil)
+}
+
+// Validate rejects probabilities outside [0, 1).
+func (p *ChaosProfile) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if p.Loss < 0 || p.Loss >= 1 {
+		return fmt.Errorf("bus: chaos loss %v outside [0, 1)", p.Loss)
+	}
+	if p.Dup < 0 || p.Dup >= 1 {
+		return fmt.Errorf("bus: chaos dup %v outside [0, 1)", p.Dup)
+	}
+	return nil
+}
+
+// linkKey identifies one directed physical hop.
+type linkKey struct {
+	from, to string
+}
+
+// SetChaos installs (or, with nil, clears) the fabric-wide default
+// profile. It applies to every hop without a per-link override.
+func (b *Sim) SetChaos(p *ChaosProfile) {
+	if !p.active() {
+		p = nil
+	}
+	b.chaosDefault = p
+}
+
+// SetLinkChaos overrides the profile for one directed hop (from → to).
+// The broker leg of a routed message uses the sender→broker and
+// broker→destination hops. A nil profile pins the hop clean even when a
+// fabric-wide default is installed.
+func (b *Sim) SetLinkChaos(from, to string, p *ChaosProfile) {
+	if b.chaosLinks == nil {
+		b.chaosLinks = make(map[linkKey]*ChaosProfile)
+	}
+	b.chaosLinks[linkKey{from, to}] = p
+}
+
+// chaosFor resolves the profile governing one hop. Must not allocate:
+// it sits on the zero-alloc Send fast path.
+func (b *Sim) chaosFor(from, to string) *ChaosProfile {
+	if b.chaosLinks != nil {
+		if p, ok := b.chaosLinks[linkKey{from, to}]; ok {
+			return p
+		}
+	}
+	return b.chaosDefault
+}
+
+// sendHop schedules one physical hop of a message, applying the link's
+// chaos profile. With no profile the hop is the historical clean path:
+// one pooled delivery event after Latency, no RNG draws.
+func (b *Sim) sendHop(m *xmlcmd.Message, hop int, from, to string) {
+	p := b.chaosFor(from, to)
+	if !p.active() {
+		b.clk.Schedule(b.Latency, b.acquire(m, hop))
+		return
+	}
+	rng := b.mgr.Rand()
+	copies := 1
+	if p.Dup > 0 && rng.Float64() < p.Dup {
+		copies = 2
+		b.stats.Duplicated++
+	}
+	for i := 0; i < copies; i++ {
+		if p.Loss > 0 && rng.Float64() < p.Loss {
+			b.stats.DroppedChaos++
+			continue
+		}
+		d := b.Latency
+		if p.Jitter != nil {
+			d += p.Jitter.Sample(rng)
+		}
+		b.clk.Schedule(d, b.acquire(m, hop))
+	}
+}

@@ -1,0 +1,60 @@
+package bus
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// FuzzReadFrame feeds arbitrary byte streams to the wire-frame reader: a
+// corrupt length prefix or payload must produce an error, never a panic,
+// and an oversized header must be rejected before any payload buffer is
+// allocated (a 4 GB length prefix is a one-frame denial of service
+// otherwise).
+func FuzzReadFrame(f *testing.F) {
+	frame := func(m *xmlcmd.Message) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ping := frame(xmlcmd.NewPing("fd", "ses", 1, 42))
+	reg := frame(xmlcmd.NewCommand("ses", "mbus", 2, "register"))
+	f.Add(ping)
+	f.Add(reg)
+	f.Add(append(ping, reg...)) // back-to-back frames
+	f.Add(ping[:len(ping)-3])   // truncated payload
+	f.Add(ping[:2])             // truncated header
+	f.Add([]byte{})
+
+	// Hostile length prefixes: huge, and huge-with-tiny-payload.
+	var huge [4]byte
+	binary.BigEndian.PutUint32(huge[:], 0xFFFFFFFF)
+	f.Add(huge[:])
+	f.Add(append(huge[:], []byte("<msg/>")...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		m, err := ReadFrame(r)
+		if err != nil {
+			if len(data) >= frameHeader {
+				if n := binary.BigEndian.Uint32(data[:frameHeader]); n > xmlcmd.MaxFrame && !errors.Is(err, xmlcmd.ErrFrameTooLarge) {
+					t.Fatalf("oversized length prefix %d rejected with %v, want ErrFrameTooLarge", n, err)
+				}
+			}
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("ReadFrame accepted an invalid message: %v", verr)
+		}
+		// A successfully read frame must round-trip through the writer.
+		var buf bytes.Buffer
+		if werr := WriteFrame(&buf, m); werr != nil {
+			t.Fatalf("read frame does not re-write: %v", werr)
+		}
+	})
+}

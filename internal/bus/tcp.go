@@ -4,11 +4,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"github.com/recursive-restart/mercury/internal/clock"
 	"github.com/recursive-restart/mercury/internal/xmlcmd"
 )
 
@@ -200,17 +203,29 @@ type TCPClient struct {
 	name  string
 	addr  string
 	onMsg func(*xmlcmd.Message)
+	rng   *rand.Rand // backoff jitter; owned by readLoop
 
 	mu     sync.Mutex
 	conn   net.Conn
 	closed bool
+	done   chan struct{} // closed by Close; unblocks the backoff wait
 	wg     sync.WaitGroup
 }
 
 // DialBus connects and registers a client. onMsg is invoked from the read
 // goroutine for every inbound frame; the caller serialises.
 func DialBus(addr, name string, onMsg func(*xmlcmd.Message)) (*TCPClient, error) {
-	c := &TCPClient{name: name, addr: addr, onMsg: onMsg}
+	// Seed the backoff jitter from the client name so a station's clients
+	// desynchronise deterministically rather than herding the broker.
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	c := &TCPClient{
+		name:  name,
+		addr:  addr,
+		onMsg: onMsg,
+		rng:   rand.New(rand.NewSource(int64(h.Sum64()))),
+		done:  make(chan struct{}),
+	}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
@@ -285,8 +300,17 @@ func (c *TCPClient) readLoop() {
 			}
 			c.mu.Unlock()
 		}
-		// Reconnect with capped backoff.
-		time.Sleep(backoff)
+		// Reconnect with capped, jittered backoff. Waiting on a timer
+		// instead of sleeping keeps Close responsive mid-backoff, and the
+		// ±20% jitter spreads a station's clients out after a broker
+		// restart instead of having them reconnect in lockstep.
+		t := time.NewTimer(clock.Jitter(c.rng, backoff, 0.2))
+		select {
+		case <-c.done:
+			t.Stop()
+			return
+		case <-t.C:
+		}
 		if backoff < 2*time.Second {
 			backoff *= 2
 		}
@@ -308,6 +332,7 @@ func (c *TCPClient) Close() {
 		return
 	}
 	c.closed = true
+	close(c.done)
 	if c.conn != nil {
 		_ = c.conn.Close()
 	}

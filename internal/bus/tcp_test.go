@@ -232,3 +232,28 @@ func TestFrameRoundTrip(t *testing.T) {
 		t.Fatalf("got %+v", m)
 	}
 }
+
+// TestTCPCloseDuringReconnectBackoff: Close must interrupt the reconnect
+// wait, not ride out a multi-second backoff sleep.
+func TestTCPCloseDuringReconnectBackoff(t *testing.T) {
+	b, err := ListenBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialBus(b.Addr(), "ses", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the broker and give the client time to fail a few dials so its
+	// backoff has grown well past the tolerance below.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(700 * time.Millisecond)
+
+	start := time.Now()
+	c.Close()
+	if d := time.Since(start); d > 300*time.Millisecond {
+		t.Fatalf("Close took %v during reconnect backoff, want prompt return", d)
+	}
+}

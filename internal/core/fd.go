@@ -22,6 +22,17 @@ type FDParams struct {
 	// RECFailAfter is how many consecutive missed REC pongs trigger FD's
 	// special-case recovery of REC.
 	RECFailAfter int
+	// SuspectAfter is how many consecutive missed pongs a target accrues
+	// before FD suspects it. The paper's detector — and the default, 1 —
+	// suspects on the first miss, which melts down into restart storms on
+	// a merely lossy (rather than dead) bus; raising the threshold trades
+	// a little detection latency for loss tolerance.
+	SuspectAfter int
+	// MissRetry is the delay before the follow-up probe after an
+	// inconclusive miss (only used when SuspectAfter > 1). Keeping it
+	// short keeps worst-case detection near SuspectAfter × PingTimeout
+	// instead of SuspectAfter × PingPeriod.
+	MissRetry time.Duration
 }
 
 // DefaultFDParams returns the paper's detector configuration.
@@ -32,6 +43,7 @@ func DefaultFDParams() FDParams {
 		ReReportInterval: 2 * time.Second,
 		Startup:          500 * time.Millisecond,
 		RECFailAfter:     3,
+		SuspectAfter:     1,
 	}
 }
 
@@ -67,6 +79,7 @@ type FD struct {
 // targetState is FD's per-component suspicion bookkeeping.
 type targetState struct {
 	outstanding  uint64 // nonce awaiting pong, 0 = none
+	missed       int    // consecutive missed pongs (reset by any pong)
 	suspected    bool
 	lastReportAt time.Time
 	everReported bool
@@ -119,13 +132,34 @@ func (fd *FD) pingLoop(ctx proc.Context, target string) {
 	ctx.Send(xmlcmd.NewPing(xmlcmd.AddrFD, target, fd.seq, nonce))
 	ctx.After(fd.params.PingTimeout, func() {
 		if st.outstanding == nonce {
-			// No pong: the target is fail-silent (or unreachable).
+			// No pong: the target is fail-silent, unreachable, or the bus
+			// lost a frame.
 			st.outstanding = 0
+			st.missed++
+			// The K-miss threshold applies to every suspicion, not just the
+			// first: a sticky suspected flag would turn one unlucky probe
+			// into a hair-trigger detector for the rest of the target's life.
+			if st.missed < fd.suspectAfter() {
+				// Inconclusive under the K-miss threshold: re-probe after
+				// a short retry instead of waiting out the full period, so
+				// a real failure still costs ~K probes, not K periods.
+				ctx.After(fd.params.MissRetry, func() { fd.pingLoop(ctx, target) })
+				return
+			}
+			st.missed = 0
 			fd.suspect(ctx, target)
 		}
 		next := fd.params.PingPeriod - fd.params.PingTimeout
 		ctx.After(next, func() { fd.pingLoop(ctx, target) })
 	})
+}
+
+// suspectAfter returns the effective K-consecutive-miss threshold.
+func (fd *FD) suspectAfter() int {
+	if fd.params.SuspectAfter > 1 {
+		return fd.params.SuspectAfter
+	}
+	return 1
 }
 
 // suspect marks the target failed and reports it to REC, subject to the
@@ -146,6 +180,16 @@ func (fd *FD) suspect(ctx proc.Context, target string) {
 		// casualties once it recovers.
 		return
 	}
+	fd.verifyBroker(ctx, target, 1)
+}
+
+// verifyBroker probes the broker out of band before blaming target. Under
+// SuspectAfter > 1 a lost verification probe is retried up to the same K
+// threshold — otherwise a lossy (but live) bus would get the broker
+// blamed on a single dropped frame, and a false mbus restart is the most
+// expensive mistake the detector can make.
+func (fd *FD) verifyBroker(ctx proc.Context, target string, attempt int) {
+	st := fd.targetSt[target]
 	probeAt := ctx.Now()
 	fd.nonce++
 	fd.seq++
@@ -156,6 +200,14 @@ func (fd *FD) suspect(ctx proc.Context, target string) {
 		}
 		if fd.lastBrokerPong.After(probeAt) {
 			fd.report(ctx, target)
+			return
+		}
+		if attempt < fd.suspectAfter() {
+			ctx.After(fd.params.MissRetry, func() {
+				if st.suspected {
+					fd.verifyBroker(ctx, target, attempt+1)
+				}
+			})
 			return
 		}
 		if b, ok := fd.targetSt[fd.broker]; ok {
@@ -226,10 +278,12 @@ func (fd *FD) Receive(ctx proc.Context, m *xmlcmd.Message) {
 			// verification probes.
 			fd.lastBrokerPong = ctx.Now()
 			st.suspected = false
+			st.missed = 0
 		}
 		if m.Pong.Nonce == st.outstanding {
 			st.outstanding = 0
 			st.suspected = false
+			st.missed = 0
 		}
 	case xmlcmd.KindPing:
 		// REC liveness-pings FD over the dedicated link.

@@ -49,6 +49,13 @@ type harness struct {
 
 func newHarness(t *testing.T, seed int64, tree *Tree, oracle Oracle) *harness {
 	t.Helper()
+	return newHarnessParams(t, seed, tree, oracle, DefaultFDParams(), DefaultRECParams())
+}
+
+// newHarnessParams is newHarness with explicit FD/REC parameters, for the
+// hardened-knob tests (SuspectAfter, restart backoff).
+func newHarnessParams(t *testing.T, seed int64, tree *Tree, oracle Oracle, fdp FDParams, recp RECParams) *harness {
+	t.Helper()
 	k := sim.New(seed)
 	log := trace.NewLog()
 	clk := clock.Sim{K: k}
@@ -82,11 +89,11 @@ func newHarness(t *testing.T, seed int64, tree *Tree, oracle Oracle) *harness {
 			_ = mgr.Restart([]string{xmlcmd.AddrREC})
 		}
 	}
-	recFactory, handle := NewREC(DefaultRECParams(), tree, oracle, mgr, restartFD)
+	recFactory, handle := NewREC(recp, tree, oracle, mgr, restartFD)
 	if err := mgr.Register(xmlcmd.AddrREC, recFactory); err != nil {
 		t.Fatal(err)
 	}
-	if err := mgr.Register(xmlcmd.AddrFD, NewFD(DefaultFDParams(), comps, "mbus", restartREC)); err != nil {
+	if err := mgr.Register(xmlcmd.AddrFD, NewFD(fdp, comps, "mbus", restartREC)); err != nil {
 		t.Fatal(err)
 	}
 	b.AddDirectLink(xmlcmd.AddrFD, xmlcmd.AddrREC)

@@ -27,6 +27,14 @@ type RECParams struct {
 	// keeps track of past restarts to prevent infinite restarts").
 	MaxRestarts  int
 	BudgetWindow time.Duration
+	// RestartBackoff damps restart storms (layered *under* the budget
+	// give-up above): when a component already has n restarts inside
+	// BudgetWindow, the next restart action waits an extra
+	// RestartBackoff × 2^(n-1), capped at RestartBackoffMax, before the
+	// button is pushed. Zero disables damping — the paper's immediate
+	// restarts.
+	RestartBackoff    time.Duration
+	RestartBackoffMax time.Duration
 	// FDPingPeriod / FDFailAfter drive REC's monitoring of FD.
 	FDPingPeriod time.Duration
 	FDTimeout    time.Duration
@@ -299,9 +307,15 @@ func (r *REC) onFailureReport(ctx proc.Context, component string) {
 	ctx.Log().Add(now, trace.OracleGuess, component, node.Label(),
 		fmt.Sprintf("policy=%s attempt=%d", r.oracle.Name(), ep.attempt))
 
+	delay := r.params.DecisionDelay
+	if bo := r.restartBackoff(len(kept)); bo > 0 {
+		delay += bo
+		ctx.Log().Add(now, trace.Note, component, node.Label(),
+			fmt.Sprintf("restart backoff %v (%d recent restarts)", bo, len(kept)))
+	}
 	r.inFlight[component] = true
 	r.history[component] = append(r.history[component], now)
-	ctx.After(r.params.DecisionDelay, func() {
+	ctx.After(delay, func() {
 		set := node.Subtree()
 		ep.pendingReady = make(map[string]bool, len(set))
 		for _, c := range set {
@@ -315,6 +329,28 @@ func (r *REC) onFailureReport(ctx proc.Context, component string) {
 			delete(r.inFlight, component)
 		}
 	})
+}
+
+// restartBackoff computes the exponential damping delay before a restart
+// action, given how many restarts the component already has inside the
+// budget window. Deterministic (no RNG), so seeded trials stay exact.
+func (r *REC) restartBackoff(recent int) time.Duration {
+	base := r.params.RestartBackoff
+	if base <= 0 || recent <= 0 {
+		return 0
+	}
+	lim := r.params.RestartBackoffMax
+	bo := base
+	for i := 1; i < recent; i++ {
+		bo *= 2
+		if lim > 0 && bo >= lim {
+			return lim
+		}
+	}
+	if lim > 0 && bo > lim {
+		return lim
+	}
+	return bo
 }
 
 // procedureFor picks the recovery procedure for a restart set: a custom

@@ -1,0 +1,330 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	mercury "github.com/recursive-restart/mercury"
+	"github.com/recursive-restart/mercury/internal/bus"
+	"github.com/recursive-restart/mercury/internal/core"
+	"github.com/recursive-restart/mercury/internal/fault"
+	"github.com/recursive-restart/mercury/internal/metrics"
+	"github.com/recursive-restart/mercury/internal/runner"
+	"github.com/recursive-restart/mercury/internal/trace"
+)
+
+// This file measures the system on a *degraded* network — the failure
+// model the paper leaves out. The bus chaos layer drops, duplicates and
+// jitters frames per hop; the sweep crosses per-hop loss rate × restart
+// tree × the FD's SuspectAfter threshold and reports, per cell:
+//
+//   - availability over a fault-free horizon (all downtime is therefore
+//     self-inflicted: false-positive restarts under A_entire),
+//   - false-positive restart actions per trial over that horizon,
+//   - detection latency and recovery for one real injected fault, under
+//     the same chaos.
+//
+// Trials fan out on the runner and fold in seed order, so a parallel
+// campaign is byte-identical to a sequential one.
+
+// ChaosConfig parameterises the degraded-network sweep.
+type ChaosConfig struct {
+	// Trees are the restart trees to measure (e.g. "I", "IV").
+	Trees []string
+	// LossRates are per-hop frame-loss probabilities to sweep.
+	LossRates []float64
+	// SuspectAfter are the FD K-consecutive-miss thresholds to sweep.
+	SuspectAfter []int
+	// Trials per cell; Horizon is the fault-free observation window.
+	Trials  int
+	Horizon time.Duration
+	// Jitter is the max extra per-hop latency (uniform 0..Jitter) and
+	// Dup the per-hop duplication probability, both fixed across cells.
+	Jitter time.Duration
+	Dup    float64
+	// Backoff/BackoffMax configure REC's restart-storm damping for every
+	// cell (zero disables).
+	Backoff    time.Duration
+	BackoffMax time.Duration
+
+	BaseSeed int64
+	// Workers bounds the trial pool; <= 0 means one per CPU.
+	Workers int
+}
+
+// DefaultChaosConfig is the EXPERIMENTS.md "Degraded network" setup.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Trees:        []string{"I", "IV"},
+		LossRates:    []float64{0, 0.02, 0.05, 0.10, 0.20},
+		SuspectAfter: []int{1, 3},
+		Trials:       20,
+		Horizon:      2 * time.Minute,
+		Jitter:       2 * time.Millisecond,
+		Dup:          0.01,
+		Backoff:      250 * time.Millisecond,
+		BackoffMax:   2 * time.Second,
+		BaseSeed:     2002,
+	}
+}
+
+// ChaosSpec identifies one cell of the sweep.
+type ChaosSpec struct {
+	Tree         string
+	Loss         float64
+	SuspectAfter int
+}
+
+// PingLoss converts a per-hop loss rate into the probability that one FD
+// liveness probe fails: ping and pong each cross two hops (FD → broker →
+// target and back), and a duplicated frame survives if either copy does.
+// This is the loss rate the detector actually experiences.
+func PingLoss(loss, dup float64) float64 {
+	effHop := loss * (1 - dup*(1-loss)) // dup rescues a drop iff the twin survives
+	deliver := 1 - effHop
+	return 1 - deliver*deliver*deliver*deliver
+}
+
+// ChaosCellResult aggregates one cell's trials.
+type ChaosCellResult struct {
+	ChaosSpec
+	Trials int
+	// Availability is the mean fraction of the fault-free horizon with
+	// every component serving (A_entire; all downtime is self-inflicted).
+	Availability float64
+	// FalseRestarts is the mean number of component restarts during the
+	// fault-free horizon — every one a false positive. Counted per
+	// component incarnation, so an escalated whole-station restart weighs
+	// its full cost; FalseActions counts REC's restart decisions.
+	FalseRestarts float64
+	FalseActions  float64
+	// GiveUps counts components abandoned across all trials.
+	GiveUps int
+	// Detected counts trials whose injected fault was detected; Detect
+	// samples the fault → FailureDetected latency over those.
+	Detected int
+	Detect   metrics.Sample
+	// Recovered counts trials whose injected fault fully recovered;
+	// Recovery samples the recovery time over those.
+	Recovered int
+	Recovery  metrics.Sample
+}
+
+// chaosTrial is one trial's raw measurements.
+type chaosTrial struct {
+	falseRestarts int // component restarts during the fault-free horizon
+	falseActions  int // REC restart decisions during the same window
+	downtime      time.Duration
+	giveUps       int
+	detected      bool
+	detect        time.Duration
+	recovered     bool
+	recovery      time.Duration
+}
+
+// chaosTarget picks the real-fault victim: the front end, the paper's
+// dominant failure source.
+func chaosTarget(tree string) string {
+	if tree == "I" || tree == "II" {
+		return "fedrcom"
+	}
+	return "fedr"
+}
+
+// runChaosTrial is the pure (spec, seed) → result trial: build a fresh
+// station, boot it clean, degrade the fabric, observe a fault-free
+// horizon, then inject one real fault and time its detection/recovery.
+func runChaosTrial(cfg ChaosConfig, spec ChaosSpec, seed int64) (chaosTrial, error) {
+	fdp := core.DefaultFDParams()
+	fdp.SuspectAfter = spec.SuspectAfter
+	recp := core.DefaultRECParams()
+	recp.RestartBackoff = cfg.Backoff
+	recp.RestartBackoffMax = cfg.BackoffMax
+
+	sys, err := mercury.NewSystem(mercury.Config{
+		Seed:      seed,
+		TreeName:  spec.Tree,
+		Policy:    mercury.PolicyEscalating,
+		FDParams:  &fdp,
+		RECParams: &recp,
+	})
+	if err != nil {
+		return chaosTrial{}, err
+	}
+	if err := sys.Boot(); err != nil {
+		return chaosTrial{}, fmt.Errorf("boot: %w", err)
+	}
+
+	var (
+		res        chaosTrial
+		faultFree  = true
+		down       bool
+		downAt     time.Time
+		injected   bool
+		injectedAt time.Time
+		target     = chaosTarget(spec.Tree)
+	)
+	sys.Log.Subscribe(func(e trace.Event) {
+		switch e.Kind {
+		case trace.ComponentDown, trace.ComponentKilled:
+			if !down {
+				down = true
+				downAt = e.At
+			}
+		case trace.SystemRecovered:
+			if down {
+				down = false
+				if faultFree {
+					res.downtime += e.At.Sub(downAt)
+				}
+			}
+		case trace.RestartRequested:
+			if faultFree {
+				res.falseActions++
+			}
+		case trace.GiveUp:
+			res.giveUps++
+		case trace.FailureDetected:
+			if injected && !res.detected && e.Component == target {
+				res.detected = true
+				res.detect = e.At.Sub(injectedAt)
+			}
+		}
+	})
+
+	// Phase 1 — degraded but fault-free: every restart is a false positive.
+	profile := &bus.ChaosProfile{Loss: spec.Loss, Dup: cfg.Dup}
+	if cfg.Jitter > 0 {
+		profile.Jitter = fault.Uniform{Lo: 0, Hi: cfg.Jitter}
+	}
+	if err := sys.SetChaos(profile); err != nil {
+		return chaosTrial{}, err
+	}
+	if err := sys.RunFor(cfg.Horizon); err != nil {
+		return chaosTrial{}, err
+	}
+	if down {
+		// Close the open downtime span at the horizon boundary; anything
+		// after it belongs to the injected-fault phase.
+		res.downtime += sys.Now().Sub(downAt)
+		downAt = sys.Now()
+	}
+	for _, c := range sys.Components() {
+		n, err := sys.Mgr.Restarts(c)
+		if err != nil {
+			return chaosTrial{}, err
+		}
+		res.falseRestarts += n
+	}
+	faultFree = false
+
+	// Phase 2 — one real fault under the same chaos.
+	injectedAt = sys.Now()
+	injected = true
+	d, err := sys.MeasureRecovery(mercury.Fault{Component: target}, 2*time.Minute)
+	switch {
+	case err == nil:
+		res.recovered = true
+		res.recovery = d
+	case errors.Is(err, mercury.ErrNoRecovery):
+		// A K=1 storm can abandon the target before (or after) injection;
+		// that is the measurement, not an error.
+	default:
+		return chaosTrial{}, err
+	}
+	return res, nil
+}
+
+// RunChaosCell measures one cell of the sweep over cfg.Trials trials.
+func RunChaosCell(ctx context.Context, cfg ChaosConfig, spec ChaosSpec) (*ChaosCellResult, error) {
+	trials, err := runner.Run(ctx,
+		runner.Config{Workers: cfg.Workers, BaseSeed: cfg.BaseSeed, Stride: runner.DefaultStride},
+		cfg.Trials,
+		func(_ context.Context, i int, seed int64) (chaosTrial, error) {
+			tr, err := runChaosTrial(cfg, spec, seed)
+			if err != nil {
+				return chaosTrial{}, fmt.Errorf("chaos %s/loss=%.2f/k=%d trial %d: %w",
+					spec.Tree, spec.Loss, spec.SuspectAfter, i, err)
+			}
+			return tr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &ChaosCellResult{ChaosSpec: spec, Trials: len(trials)}
+	availSum := 0.0
+	for _, tr := range trials {
+		availSum += 1 - tr.downtime.Seconds()/cfg.Horizon.Seconds()
+		res.FalseRestarts += float64(tr.falseRestarts)
+		res.FalseActions += float64(tr.falseActions)
+		res.GiveUps += tr.giveUps
+		if tr.detected {
+			res.Detected++
+			res.Detect.Add(tr.detect)
+		}
+		if tr.recovered {
+			res.Recovered++
+			res.Recovery.Add(tr.recovery)
+		}
+	}
+	if n := float64(len(trials)); n > 0 {
+		res.Availability = availSum / n
+		res.FalseRestarts /= n
+		res.FalseActions /= n
+	}
+	return res, nil
+}
+
+// ChaosSweep measures the full grid in deterministic cell order
+// (tree, then loss rate, then SuspectAfter). Every cell reuses the same
+// per-trial seeds, so cells are paired comparisons.
+func ChaosSweep(ctx context.Context, cfg ChaosConfig) ([]*ChaosCellResult, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("experiment: non-positive chaos trial count")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("experiment: non-positive chaos horizon")
+	}
+	var out []*ChaosCellResult
+	for _, tree := range cfg.Trees {
+		for _, loss := range cfg.LossRates {
+			for _, k := range cfg.SuspectAfter {
+				cell, err := RunChaosCell(ctx, cfg, ChaosSpec{Tree: tree, Loss: loss, SuspectAfter: k})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, cell)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderChaos formats the sweep as the availability-vs-loss table.
+func RenderChaos(cfg ChaosConfig, cells []*ChaosCellResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Degraded network — availability vs per-hop loss (%d trials/cell, %v fault-free horizon, dup %.0f%%, jitter ≤%v)\n",
+		cfg.Trials, cfg.Horizon, cfg.Dup*100, cfg.Jitter)
+	fmt.Fprintf(&sb, "%-5s %6s %10s %8s %14s %16s %9s %12s %10s %11s %10s\n",
+		"tree", "loss", "ping-loss", "suspect", "availability", "false-restarts", "give-ups", "detect-mean", "detected", "recovered", "recovery")
+	for _, c := range cells {
+		detect := "—"
+		if c.Detect.N() > 0 {
+			detect = fmt.Sprintf("%.2fs", c.Detect.MeanSeconds())
+		}
+		recovery := "—"
+		if c.Recovery.N() > 0 {
+			recovery = fmt.Sprintf("%.2fs", c.Recovery.MeanSeconds())
+		}
+		fmt.Fprintf(&sb, "%-5s %5.0f%% %9.1f%% %8d %14.4f %16.2f %9d %12s %7d/%d %8d/%d %10s\n",
+			c.Tree, c.Loss*100, PingLoss(c.Loss, cfg.Dup)*100, c.SuspectAfter, c.Availability,
+			c.FalseRestarts, c.GiveUps, detect, c.Detected, c.Trials, c.Recovered, c.Trials, recovery)
+	}
+	sb.WriteString("ping-loss = probability one FD probe round trip (4 lossy hops) fails; " +
+		"false-restarts = component restarts per trial with no fault injected; " +
+		"detect/recovery measure one real front-end fault under the same chaos\n")
+	return sb.String()
+}

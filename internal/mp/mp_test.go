@@ -3,11 +3,15 @@ package mp
 import (
 	"fmt"
 	"os"
+	"syscall"
 	"testing"
 	"time"
 
+	"github.com/recursive-restart/mercury/internal/core"
 	"github.com/recursive-restart/mercury/internal/fault"
+	"github.com/recursive-restart/mercury/internal/rt"
 	"github.com/recursive-restart/mercury/internal/station"
+	"github.com/recursive-restart/mercury/internal/trace"
 )
 
 // TestMain doubles as the component-child entry point: when the supervisor
@@ -195,5 +199,95 @@ func TestHandlerFor(t *testing.T) {
 	}
 	if _, err := handlerFor("nope", "split", p); err == nil {
 		t.Fatal("unknown component accepted")
+	}
+}
+
+// TestMultiProcessExternalKillMidTraffic kills a child with SIGKILL from
+// outside the supervisor — the process dies at an arbitrary point, quite
+// possibly mid-frame-write. The half-written frame must not wedge the
+// broker, and the reaper must surface the death so REC replaces the pid.
+func TestMultiProcessExternalKillMidTraffic(t *testing.T) {
+	sup := startSupervisor(t, "IV")
+	oldPID := sup.ChildPID(station.RTU)
+	if oldPID == 0 {
+		t.Fatal("rtu has no child process")
+	}
+	if err := syscall.Kill(oldPID, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	// The supervisor learns of the death from its reaper, not from the
+	// killer; wait for that before waiting for the recovery itself.
+	deadline := time.Now().Add(10 * time.Second)
+	for sup.ChildPID(station.RTU) == oldPID {
+		if time.Now().After(deadline) {
+			t.Fatal("supervisor never noticed the external SIGKILL")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := sup.WaitRecovered(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	newPID := sup.ChildPID(station.RTU)
+	if newPID == 0 || newPID == oldPID {
+		t.Fatalf("externally killed rtu child not replaced: %d -> %d", oldPID, newPID)
+	}
+	if !sup.AllServing() {
+		t.Fatal("station not fully serving after external kill recovery")
+	}
+}
+
+// cellOracle always recommends the failed component's own cell, keeping a
+// hard-fault storm scoped to one child so the restart *budget* — not the
+// escalation ladder — is what ends it.
+type cellOracle struct{}
+
+func (cellOracle) Name() string { return "cell" }
+func (cellOracle) Choose(t *core.Tree, component string, _ *core.Node, _ int) (*core.Node, error) {
+	return t.CellOf(component)
+}
+
+// TestMultiProcessHardFaultGivesUp drives the restart budget end-to-end
+// across real processes: a hard fault re-manifests after every restart, so
+// the policy must eventually record a GiveUp and stop cycling the child.
+func TestMultiProcessHardFaultGivesUp(t *testing.T) {
+	// Real child respawns cost seconds of calibrated time each, so the
+	// default 2-minute budget window can prune history faster than six
+	// restarts accrue; widen it so the budget logic itself is what ends
+	// the storm.
+	recp := rt.RECParamsForScale(mpScale)
+	recp.BudgetWindow = 30 * time.Minute
+	sup, err := StartSupervisor(SupervisorConfig{
+		ListenAddr: "127.0.0.1:0",
+		Scale:      mpScale,
+		TreeName:   "IV",
+		Seed:       1,
+		Policy:     cellOracle{},
+		RECParams:  &recp,
+	})
+	if err != nil {
+		t.Fatalf("StartSupervisor: %v", err)
+	}
+	t.Cleanup(sup.Stop)
+	if err := sup.Inject(fault.Fault{Manifest: station.RTU, Hard: true}); err != nil {
+		t.Fatal(err)
+	}
+	gaveUp := func() bool {
+		return len(sup.Log.Filter(func(e trace.Event) bool { return e.Kind == trace.GiveUp })) > 0
+	}
+	deadline := time.Now().Add(90 * time.Second)
+	for !gaveUp() {
+		if time.Now().After(deadline) {
+			t.Fatal("policy never gave up on a hard fault")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// After giving up, the abandoned component must stop being cycled.
+	var before int
+	sup.Disp.Call(func() { before, _ = sup.Mgr.Restarts(station.RTU) })
+	time.Sleep(2 * time.Second)
+	var after int
+	sup.Disp.Call(func() { after, _ = sup.Mgr.Restarts(station.RTU) })
+	if after != before {
+		t.Fatalf("rtu still cycling after give-up: %d -> %d restarts", before, after)
 	}
 }

@@ -50,6 +50,9 @@ type SupervisorConfig struct {
 	Spawn SpawnFunc
 	// Policy is the oracle; nil = escalating.
 	Policy core.Oracle
+	// RECParams overrides the recoverer configuration (already adjusted
+	// for Scale); nil uses rt.RECParamsForScale.
+	RECParams *core.RECParams
 }
 
 // managedChild tracks one live child process.
@@ -301,7 +304,11 @@ func StartSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 			_ = mgr.Restart([]string{xmlcmd.AddrREC})
 		}
 	}
-	recFactory, _ := core.NewREC(rt.RECParamsForScale(cfg.Scale), tree, oracle, mgr, restartFD)
+	recParams := rt.RECParamsForScale(cfg.Scale)
+	if cfg.RECParams != nil {
+		recParams = *cfg.RECParams
+	}
+	recFactory, _ := core.NewREC(recParams, tree, oracle, mgr, restartFD)
 	if err := mgr.Register(xmlcmd.AddrREC, recFactory); err != nil {
 		return nil, err
 	}

@@ -87,16 +87,36 @@ func (d *Dispatcher) Stop() {
 }
 
 // Clock is a wall clock whose callbacks run on the dispatcher, with
-// durations compressed by Scale.
+// durations compressed by Scale. Now reports *calibrated* time (wall time
+// elapsed since Epoch, stretched back up by Scale): handlers compare
+// Now() deltas against calibrated durations (re-report throttles, budget
+// windows, grace periods), so timestamps must live in the same timebase
+// the durations do — wall-clock Now would silently stretch every such
+// window by Scale.
 type Clock struct {
 	D     *Dispatcher
 	Scale float64
+	// Epoch anchors calibrated time; zero means "process start".
+	Epoch time.Time
 }
 
 var _ clock.Clock = Clock{}
 
-// Now returns wall time.
-func (c Clock) Now() time.Time { return time.Now() }
+// processEpoch anchors Clocks constructed without an explicit Epoch.
+var processEpoch = time.Now()
+
+// Now returns calibrated time: Epoch + Scale × elapsed wall time.
+func (c Clock) Now() time.Time {
+	epoch := c.Epoch
+	if epoch.IsZero() {
+		epoch = processEpoch
+	}
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	return epoch.Add(time.Duration(float64(time.Since(epoch)) * s))
+}
 
 // AfterFunc schedules fn on the dispatcher after d/Scale.
 func (c Clock) AfterFunc(d time.Duration, fn func()) clock.Timer {

@@ -1,0 +1,59 @@
+package xmlcmd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// FuzzDecode throws arbitrary bytes at the codec: whatever the fabric
+// delivers, Decode must return a validated message or an error — never
+// panic, and never accept a frame its own Validate would reject.
+func FuzzDecode(f *testing.F) {
+	seedMsgs := []*Message{
+		NewPing("fd", "ses", 1, 42),
+		NewPong("ses", NewPing("fd", "ses", 2, 43), 3),
+		NewCommand("rec", "mbus", 4, "register"),
+		NewCommand("fedr", "pbcom", 5, "tune", "freq", "437.5"),
+		NewAck("pbcom", "fedr", 6, 5, true, ""),
+		NewTelemetry("rtu", "str", 7, "az", 181.5, time.Unix(1020000000, 0).UTC()),
+		NewEvent("fd", "rec", 8, "failure", "ses"),
+		NewSync("ses", "str", 9, 1020000000),
+		NewSyncAck("str", "ses", 10, 1020000000),
+	}
+	for _, m := range seedMsgs {
+		b, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		// Truncated and lightly corrupted variants of real frames.
+		f.Add(b[:len(b)/2])
+		f.Add(bytes.Replace(b, []byte("<"), []byte("&"), 2))
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("<msg>"))
+	f.Add(bytes.Repeat([]byte("<msg from=\"a\" to=\"b\">"), 100))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if len(data) > MaxFrame {
+			if !errors.Is(err, ErrFrameTooLarge) {
+				t.Fatalf("oversized frame (%d bytes) decoded to %v, %v", len(data), m, err)
+			}
+			return
+		}
+		if err != nil {
+			return
+		}
+		// Anything Decode accepts must satisfy the same invariants the
+		// system relies on: it validates and re-encodes.
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("Decode accepted an invalid message: %v", verr)
+		}
+		if _, eerr := Encode(m); eerr != nil {
+			t.Fatalf("decoded message does not re-encode: %v", eerr)
+		}
+	})
+}

@@ -91,6 +91,11 @@ type Config struct {
 	// FDParams / RECParams override detector and recoverer settings.
 	FDParams  *core.FDParams
 	RECParams *core.RECParams
+	// Chaos, when non-nil, degrades every simulated bus link with the
+	// profile's loss/duplication/jitter from construction onward. Most
+	// experiments instead call System.SetChaos after Boot so a lossy
+	// fabric cannot wedge the initial whole-system start.
+	Chaos *bus.ChaosProfile
 	// DisableRecovery builds the station without FD/REC (for baselines
 	// that model the pre-RR, operator-driven Mercury).
 	DisableRecovery bool
@@ -159,6 +164,12 @@ func NewSystem(cfg Config) (*System, error) {
 	mgr := proc.NewManager(clk, k.Rand(), log)
 	b := bus.NewSim(clk, mgr, station.MBus)
 	mgr.SetTransport(b)
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.Validate(); err != nil {
+			return nil, err
+		}
+		b.SetChaos(cfg.Chaos)
+	}
 	board := fault.NewBoard(clk, mgr, log)
 	injector := fault.NewInjector(clk, mgr, board)
 
@@ -362,6 +373,17 @@ func (s *System) MeasureRecovery(f Fault, limit time.Duration) (time.Duration, e
 		return 0, errors.New("mercury: recovery not recorded in trace")
 	}
 	return d, nil
+}
+
+// SetChaos installs (or clears, with nil) the fabric-wide bus chaos
+// profile. Installing it after Boot degrades the network only once the
+// station is up — the usual shape for availability-vs-loss experiments.
+func (s *System) SetChaos(p *bus.ChaosProfile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	s.Bus.SetChaos(p)
+	return nil
 }
 
 // RunFor advances simulated time (idle operation, pings, telemetry).
