@@ -279,7 +279,8 @@ func BenchmarkKernel(b *testing.B) {
 	}
 }
 
-// BenchmarkXMLCodec measures command-language encode/decode round-trips.
+// BenchmarkXMLCodec measures command-language encode/decode round-trips on
+// the hand-rolled wire codec.
 func BenchmarkXMLCodec(b *testing.B) {
 	m := xmlcmd.NewCommand("ses", "rtu", 1, "tune", "freqHz", "437100000")
 	for i := 0; i < b.N; i++ {
@@ -288,6 +289,21 @@ func BenchmarkXMLCodec(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := xmlcmd.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXMLCodecStd is the same round trip through the retained
+// encoding/xml reference path, kept as the comparison baseline.
+func BenchmarkXMLCodecStd(b *testing.B) {
+	m := xmlcmd.NewCommand("ses", "rtu", 1, "tune", "freqHz", "437100000")
+	for i := 0; i < b.N; i++ {
+		buf, err := xmlcmd.StdEncode(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := xmlcmd.StdDecode(buf); err != nil {
 			b.Fatal(err)
 		}
 	}

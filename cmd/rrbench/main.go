@@ -12,6 +12,8 @@
 //	rrbench -all -cpuprofile cpu.pb.gz   # profile a full regeneration
 //	rrbench chaos                # degraded-network sweep (loss × tree × SuspectAfter)
 //	rrbench chaos -loss 0.1 -trees IV -json   # one lossy cell, machine-readable
+//	rrbench wire                 # wire-path codec + TCP framing benchmarks
+//	rrbench wire -bench -benchlabel after     # append the records to BENCH_RESULTS.json
 //
 // Trials fan out across a worker pool (-parallel, default one worker per
 // CPU); results are folded in seed order, so every measured number is
@@ -43,9 +45,16 @@ import (
 
 func main() {
 	// Subcommand dispatch ahead of the classic flag CLI: `rrbench chaos`
-	// owns its own flag set.
+	// and `rrbench wire` own their own flag sets.
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		if err := runChaos(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "rrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "wire" {
+		if err := runWire(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "rrbench:", err)
 			os.Exit(1)
 		}

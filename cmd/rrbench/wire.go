@@ -1,0 +1,338 @@
+package main
+
+// The wire subcommand measures the TCP wire path in isolation: codec
+// microbenchmarks (hand-rolled AppendEncode/DecodeInto against the retained
+// encoding/xml reference StdEncode/StdDecode) and end-to-end frame pumps
+// over real loopback TCP, including a full broker round trip. Because the
+// reference implementation is kept in the tree, one invocation produces
+// both the baseline and the optimised records, so BENCH_RESULTS.json gets
+// an honest before/after pair from the same binary on the same machine.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/bus"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// wireCorpus is the message mix pushed through every wire benchmark: the
+// frames the runtime actually exchanges (liveness pings/pongs dominate,
+// plus commands, telemetry and health reports).
+func wireCorpus() []*xmlcmd.Message {
+	ping := xmlcmd.NewPing(xmlcmd.AddrFD, xmlcmd.AddrSES, 1, 42)
+	return []*xmlcmd.Message{
+		ping,
+		xmlcmd.NewPong(xmlcmd.AddrSES, ping, 3),
+		xmlcmd.NewCommand(xmlcmd.AddrSES, xmlcmd.AddrRTU, 2, "tune", "freqHz", "437100000"),
+		xmlcmd.NewTelemetry(xmlcmd.AddrRTU, xmlcmd.AddrSTR, 4, "az_deg", 181.5,
+			time.Unix(1020000000, 0).UTC()),
+		xmlcmd.NewEvent(xmlcmd.AddrFD, xmlcmd.AddrREC, 5, "failure", xmlcmd.AddrSES),
+		{From: xmlcmd.AddrSES, To: xmlcmd.AddrFD, Seq: 6,
+			Health: &xmlcmd.Health{Incarnation: 2, UptimeMs: 120000, QueueDepth: 3, AgeScore: 0.4}},
+	}
+}
+
+// runWire drives `rrbench wire`.
+func runWire(argv []string) error {
+	fs := flag.NewFlagSet("wire", flag.ContinueOnError)
+	var (
+		iters      = fs.Int("iters", 200_000, "iterations per codec microbenchmark")
+		frames     = fs.Int("frames", 50_000, "frames per TCP pump benchmark")
+		jsonOut    = fs.Bool("json", false, "emit one JSON document instead of text")
+		bench      = fs.Bool("bench", false, "append the records to -benchout")
+		benchOut   = fs.String("benchout", "BENCH_RESULTS.json", "perf-record file for -bench")
+		benchLabel = fs.String("benchlabel", "", "free-form label stored with the record")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	run := perfRun{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Label:     *benchLabel,
+		Go:        runtime.Version(),
+	}
+
+	msgs := wireCorpus()
+	encStd, err := wireEncode("wire-encode-xml", msgs, *iters, xmlcmd.StdEncode)
+	if err != nil {
+		return err
+	}
+	encFast, err := wireEncodeFast(msgs, *iters)
+	if err != nil {
+		return err
+	}
+	decStd, err := wireDecodeStd(msgs, *iters)
+	if err != nil {
+		return err
+	}
+	decFast, err := wireDecodeFast(msgs, *iters)
+	if err != nil {
+		return err
+	}
+	pumpStd, err := wirePump("wire-pump-xml", msgs, *frames, false)
+	if err != nil {
+		return err
+	}
+	pumpFast, err := wirePump("wire-pump-fast", msgs, *frames, true)
+	if err != nil {
+		return err
+	}
+	broker, err := wireBroker(*frames)
+	if err != nil {
+		return err
+	}
+	run.Records = []perfRecord{encStd, encFast, decStd, decFast, pumpStd, pumpFast, broker}
+
+	if *jsonOut {
+		out, err := json.MarshalIndent(run, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, r := range run.Records {
+			fmt.Printf("%-16s %10d frames  %8.3fs  %12.0f frames/s  %8.1f ns/frame  %6.3f allocs/frame\n",
+				r.Name, r.Events, r.WallSeconds, r.EventsPerSec, r.NsPerEvent, r.AllocsPerEvent)
+		}
+	}
+	if *bench {
+		return appendPerfRun(*benchOut, run)
+	}
+	return nil
+}
+
+// wireEncode measures an allocate-per-call encoder (the encoding/xml
+// reference).
+func wireEncode(name string, msgs []*xmlcmd.Message, iters int, enc func(*xmlcmd.Message) ([]byte, error)) (perfRecord, error) {
+	m := startMeter()
+	for i := 0; i < iters; i++ {
+		if _, err := enc(msgs[i%len(msgs)]); err != nil {
+			return perfRecord{}, err
+		}
+	}
+	return m.record(name, 0, uint64(iters)), nil
+}
+
+// wireEncodeFast measures AppendEncode into one reused buffer, the way
+// FrameWriter drives it.
+func wireEncodeFast(msgs []*xmlcmd.Message, iters int) (perfRecord, error) {
+	var buf []byte
+	m := startMeter()
+	for i := 0; i < iters; i++ {
+		var err error
+		buf, err = xmlcmd.AppendEncode(buf[:0], msgs[i%len(msgs)])
+		if err != nil {
+			return perfRecord{}, err
+		}
+	}
+	return m.record("wire-encode-fast", 0, uint64(iters)), nil
+}
+
+// wireFrames pre-encodes the corpus so decode benchmarks measure decoding
+// only.
+func wireFrames(msgs []*xmlcmd.Message) ([][]byte, error) {
+	frames := make([][]byte, len(msgs))
+	for i, msg := range msgs {
+		b, err := xmlcmd.Encode(msg)
+		if err != nil {
+			return nil, err
+		}
+		frames[i] = b
+	}
+	return frames, nil
+}
+
+func wireDecodeStd(msgs []*xmlcmd.Message, iters int) (perfRecord, error) {
+	frames, err := wireFrames(msgs)
+	if err != nil {
+		return perfRecord{}, err
+	}
+	m := startMeter()
+	for i := 0; i < iters; i++ {
+		if _, err := xmlcmd.StdDecode(frames[i%len(frames)]); err != nil {
+			return perfRecord{}, err
+		}
+	}
+	return m.record("wire-decode-xml", 0, uint64(iters)), nil
+}
+
+func wireDecodeFast(msgs []*xmlcmd.Message, iters int) (perfRecord, error) {
+	frames, err := wireFrames(msgs)
+	if err != nil {
+		return perfRecord{}, err
+	}
+	var dst xmlcmd.Message
+	m := startMeter()
+	for i := 0; i < iters; i++ {
+		if err := xmlcmd.DecodeInto(frames[i%len(frames)], &dst); err != nil {
+			return perfRecord{}, err
+		}
+	}
+	return m.record("wire-decode-fast", 0, uint64(iters)), nil
+}
+
+// stdWriteFrame is the pre-optimisation framing: encoding/xml marshal plus
+// separate header and payload writes (two syscalls per frame). Kept here so
+// the pump benchmark has a faithful baseline.
+func stdWriteFrame(w io.Writer, m *xmlcmd.Message) error {
+	payload, err := xmlcmd.StdEncode(m)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// stdReadFrame is the pre-optimisation read path: allocate the payload,
+// decode with encoding/xml.
+func stdReadFrame(r io.Reader) (*xmlcmd.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > xmlcmd.MaxFrame {
+		return nil, xmlcmd.ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return xmlcmd.StdDecode(payload)
+}
+
+// wirePump streams frames through one real loopback TCP connection: a
+// writer goroutine frames the corpus, the measuring side reads until it has
+// them all. fast selects the buffered FrameWriter/FrameReader path;
+// otherwise the encoding/xml baseline framing runs.
+func wirePump(name string, msgs []*xmlcmd.Message, frames int, fast bool) (perfRecord, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return perfRecord{}, err
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	wc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return perfRecord{}, err
+	}
+	defer wc.Close()
+	rc, ok := <-accepted
+	if !ok {
+		return perfRecord{}, fmt.Errorf("wire: accept failed")
+	}
+	defer rc.Close()
+
+	writeErr := make(chan error, 1)
+	go func() {
+		var fw bus.FrameWriter
+		for i := 0; i < frames; i++ {
+			m := msgs[i%len(msgs)]
+			var err error
+			if fast {
+				err = fw.WriteFrame(wc, m)
+			} else {
+				err = stdWriteFrame(wc, m)
+			}
+			if err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- nil
+	}()
+
+	mt := startMeter()
+	if fast {
+		var fr bus.FrameReader
+		var dst xmlcmd.Message
+		for i := 0; i < frames; i++ {
+			if err := fr.ReadFrameInto(rc, &dst); err != nil {
+				return perfRecord{}, err
+			}
+		}
+	} else {
+		for i := 0; i < frames; i++ {
+			if _, err := stdReadFrame(rc); err != nil {
+				return perfRecord{}, err
+			}
+		}
+	}
+	rec := mt.record(name, 0, uint64(frames))
+	if err := <-writeErr; err != nil {
+		return perfRecord{}, err
+	}
+	return rec, nil
+}
+
+// wireBroker measures the full fabric round trip: client a → broker →
+// client b, all three on loopback TCP with the production TCPBroker and
+// TCPClient code.
+func wireBroker(frames int) (perfRecord, error) {
+	b, err := bus.ListenBroker("127.0.0.1:0")
+	if err != nil {
+		return perfRecord{}, err
+	}
+	defer b.Close()
+
+	var got atomic.Int64
+	done := make(chan struct{})
+	sink, err := bus.DialBus(b.Addr(), "sink", func(m *xmlcmd.Message) {
+		if got.Add(1) == int64(frames) {
+			close(done)
+		}
+	})
+	if err != nil {
+		return perfRecord{}, err
+	}
+	defer sink.Close()
+	src, err := bus.DialBus(b.Addr(), "src", nil)
+	if err != nil {
+		return perfRecord{}, err
+	}
+	defer src.Close()
+
+	// Frames to an unregistered destination drop silently, so wait until
+	// the broker has processed both register frames before measuring.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(b.ClientNames()) < 2 {
+		if time.Now().After(deadline) {
+			return perfRecord{}, fmt.Errorf("wire: clients never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	msg := xmlcmd.NewPing("src", "sink", 1, 42)
+	mt := startMeter()
+	for i := 0; i < frames; i++ {
+		msg.Seq = uint64(i)
+		src.Send(msg)
+	}
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		return perfRecord{}, fmt.Errorf("wire: broker delivered %d/%d frames", got.Load(), frames)
+	}
+	return mt.record("wire-broker", 0, uint64(frames)), nil
+}

@@ -31,36 +31,88 @@ var (
 	ErrNotRegistered = errors.New("bus: first frame must register a name")
 )
 
-// WriteFrame writes one length-prefixed message.
-func WriteFrame(w io.Writer, m *xmlcmd.Message) error {
-	payload, err := xmlcmd.Encode(m)
+// FrameWriter frames messages onto a stream, composing the length header
+// and XML payload in one reusable scratch buffer so each frame costs a
+// single Write call and, in steady state, zero allocations. A FrameWriter
+// is owned by one connection and is not safe for concurrent use; callers
+// serialise (the broker under its lock, the client under sendMu).
+type FrameWriter struct {
+	buf []byte
+}
+
+// WriteFrame encodes m and writes it to w as one length-prefixed frame.
+func (fw *FrameWriter) WriteFrame(w io.Writer, m *xmlcmd.Message) error {
+	if cap(fw.buf) < frameHeader {
+		fw.buf = make([]byte, frameHeader, 512)
+	}
+	buf, err := xmlcmd.AppendEncode(fw.buf[:frameHeader], m)
 	if err != nil {
 		return err
 	}
-	var hdr [frameHeader]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(payload)
+	fw.buf = buf
+	binary.BigEndian.PutUint32(buf[:frameHeader], uint32(len(buf)-frameHeader))
+	_, err = w.Write(buf)
 	return err
 }
 
-// ReadFrame reads one length-prefixed message.
-func ReadFrame(r io.Reader) (*xmlcmd.Message, error) {
-	var hdr [frameHeader]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+// FrameReader reads length-prefixed frames from a stream, reusing one
+// payload buffer across frames. Decoded messages never alias the payload
+// buffer (the codec copies every string), so the buffer can be reused even
+// when messages outlive the read call. A FrameReader is owned by one
+// connection's read loop and is not safe for concurrent use.
+type FrameReader struct {
+	hdr     [frameHeader]byte
+	payload []byte
+}
+
+// ReadFrameInto reads one frame and decodes it into m, reusing both the
+// reader's payload buffer and m's decode scratch. Suited to synchronous
+// consumers like the broker's route loop, which is done with m before the
+// next read; callers that hand messages off asynchronously must use
+// ReadFrame so each frame gets a fresh message.
+func (fr *FrameReader) ReadFrameInto(r io.Reader, m *xmlcmd.Message) error {
+	if _, err := io.ReadFull(r, fr.hdr[:]); err != nil {
+		return err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(fr.hdr[:])
 	if n > xmlcmd.MaxFrame {
-		return nil, xmlcmd.ErrFrameTooLarge
+		return xmlcmd.ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
+	if cap(fr.payload) < int(n) {
+		fr.payload = make([]byte, n)
+	}
+	payload := fr.payload[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	return xmlcmd.DecodeInto(payload, m)
+}
+
+// ReadFrame reads one frame into a fresh message, reusing only the payload
+// buffer. The returned message is safe to retain and hand to other
+// goroutines.
+func (fr *FrameReader) ReadFrame(r io.Reader) (*xmlcmd.Message, error) {
+	m := new(xmlcmd.Message)
+	if err := fr.ReadFrameInto(r, m); err != nil {
 		return nil, err
 	}
-	return xmlcmd.Decode(payload)
+	return m, nil
+}
+
+// WriteFrame writes one length-prefixed message. Convenience wrapper over
+// a throwaway FrameWriter for one-shot callers; connection loops hold a
+// FrameWriter to amortise the buffer.
+func WriteFrame(w io.Writer, m *xmlcmd.Message) error {
+	var fw FrameWriter
+	return fw.WriteFrame(w, m)
+}
+
+// ReadFrame reads one length-prefixed message. Convenience wrapper over a
+// throwaway FrameReader; connection loops hold a FrameReader to amortise
+// the buffers.
+func ReadFrame(r io.Reader) (*xmlcmd.Message, error) {
+	var fr FrameReader
+	return fr.ReadFrame(r)
 }
 
 // registerCommand is the client's first frame.
@@ -74,9 +126,18 @@ type TCPBroker struct {
 	ln net.Listener
 
 	mu     sync.Mutex
-	conns  map[string]net.Conn
+	conns  map[string]*brokerConn
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// brokerConn pairs a registered client connection with its frame writer so
+// routed frames reuse one scratch buffer per destination. The writer is
+// only touched under the broker lock, which also serialises writes to the
+// connection.
+type brokerConn struct {
+	conn net.Conn
+	fw   FrameWriter
 }
 
 // ListenBroker starts a broker on addr (use "127.0.0.1:0" for an ephemeral
@@ -86,7 +147,7 @@ func ListenBroker(addr string) (*TCPBroker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bus: listen: %w", err)
 	}
-	b := &TCPBroker{ln: ln, conns: make(map[string]net.Conn)}
+	b := &TCPBroker{ln: ln, conns: make(map[string]*brokerConn)}
 	b.wg.Add(1)
 	go b.acceptLoop()
 	return b, nil
@@ -104,10 +165,10 @@ func (b *TCPBroker) Close() error {
 	}
 	b.closed = true
 	err := b.ln.Close()
-	for _, c := range b.conns {
-		_ = c.Close()
+	for _, bc := range b.conns {
+		_ = bc.conn.Close()
 	}
-	b.conns = make(map[string]net.Conn)
+	b.conns = make(map[string]*brokerConn)
 	b.mu.Unlock()
 	b.wg.Wait()
 	return err
@@ -125,12 +186,16 @@ func (b *TCPBroker) acceptLoop() {
 	}
 }
 
-// serve handles one client connection.
+// serve handles one client connection. The read side owns one FrameReader
+// and one Message for the connection's lifetime: routing is synchronous, so
+// each frame is fully forwarded before the buffers are reused, and a
+// steady-state routed frame allocates nothing on the broker.
 func (b *TCPBroker) serve(conn net.Conn) {
 	defer b.wg.Done()
+	var fr FrameReader
 	// Registration.
 	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-	first, err := ReadFrame(conn)
+	first, err := fr.ReadFrame(conn)
 	if err != nil || first.Kind() != xmlcmd.KindCommand || first.Command.Name != registerCommand {
 		_ = conn.Close()
 		return
@@ -145,21 +210,21 @@ func (b *TCPBroker) serve(conn net.Conn) {
 		return
 	}
 	if old, ok := b.conns[name]; ok {
-		_ = old.Close() // a reconnecting client replaces its old session
+		_ = old.conn.Close() // a reconnecting client replaces its old session
 	}
-	b.conns[name] = conn
+	b.conns[name] = &brokerConn{conn: conn}
 	b.mu.Unlock()
 
+	var m xmlcmd.Message
 	for {
-		m, err := ReadFrame(conn)
-		if err != nil {
+		if err := fr.ReadFrameInto(conn, &m); err != nil {
 			break
 		}
-		b.route(m)
+		b.route(&m)
 	}
 
 	b.mu.Lock()
-	if b.conns[name] == conn {
+	if bc, ok := b.conns[name]; ok && bc.conn == conn {
 		delete(b.conns, name)
 	}
 	b.mu.Unlock()
@@ -167,21 +232,15 @@ func (b *TCPBroker) serve(conn net.Conn) {
 }
 
 // route forwards a frame to its destination, dropping it if the
-// destination has no live connection.
+// destination has no live connection. Writes are serialised per
+// destination under the broker lock; broker throughput is nowhere near the
+// point where finer locking matters for the ground station's tens of
+// messages per second.
 func (b *TCPBroker) route(m *xmlcmd.Message) {
 	b.mu.Lock()
-	dest, ok := b.conns[m.To]
-	b.mu.Unlock()
-	if !ok {
-		return
-	}
-	// Serialise writes per destination under the broker lock; broker
-	// throughput is nowhere near the point where this matters for the
-	// ground station's tens of messages per second.
-	b.mu.Lock()
 	defer b.mu.Unlock()
-	if cur, ok := b.conns[m.To]; ok && cur == dest {
-		_ = WriteFrame(dest, m)
+	if bc, ok := b.conns[m.To]; ok {
+		_ = bc.fw.WriteFrame(bc.conn, m)
 	}
 }
 
@@ -210,10 +269,18 @@ type TCPClient struct {
 	closed bool
 	done   chan struct{} // closed by Close; unblocks the backoff wait
 	wg     sync.WaitGroup
+
+	// sendMu serialises writers and guards fw's scratch buffer. It is
+	// separate from mu so Close and the read loop never wait behind a slow
+	// socket write.
+	sendMu sync.Mutex
+	fw     FrameWriter
 }
 
 // DialBus connects and registers a client. onMsg is invoked from the read
-// goroutine for every inbound frame; the caller serialises.
+// goroutine for every inbound frame; the caller serialises. Each frame is
+// delivered as a fresh message (only the frame buffers are reused), so
+// handlers may retain it or hand it to another goroutine.
 func DialBus(addr, name string, onMsg func(*xmlcmd.Message)) (*TCPClient, error) {
 	// Seed the backoff jitter from the client name so a station's clients
 	// desynchronise deterministically rather than herding the broker.
@@ -241,7 +308,10 @@ func (c *TCPClient) connect() error {
 		return err
 	}
 	reg := xmlcmd.NewCommand(c.name, "mbus", 0, registerCommand)
-	if err := WriteFrame(conn, reg); err != nil {
+	c.sendMu.Lock()
+	err = c.fw.WriteFrame(conn, reg)
+	c.sendMu.Unlock()
+	if err != nil {
 		_ = conn.Close()
 		return err
 	}
@@ -265,14 +335,21 @@ func (c *TCPClient) Send(m *xmlcmd.Message) {
 	if conn == nil {
 		return
 	}
-	if err := WriteFrame(conn, m); err != nil {
+	c.sendMu.Lock()
+	err := c.fw.WriteFrame(conn, m)
+	c.sendMu.Unlock()
+	if err != nil {
 		_ = conn.Close()
 	}
 }
 
-// readLoop receives frames and reconnects on failure until closed.
+// readLoop receives frames and reconnects on failure until closed. It owns
+// a FrameReader whose buffers persist across reconnects; messages handed to
+// onMsg are fresh per frame because handlers (e.g. the supervisor's
+// dispatcher) hand them off asynchronously.
 func (c *TCPClient) readLoop() {
 	defer c.wg.Done()
+	var fr FrameReader
 	backoff := 100 * time.Millisecond
 	for {
 		c.mu.Lock()
@@ -284,7 +361,7 @@ func (c *TCPClient) readLoop() {
 		}
 		if conn != nil {
 			for {
-				m, err := ReadFrame(conn)
+				m, err := fr.ReadFrame(conn)
 				if err != nil {
 					break
 				}

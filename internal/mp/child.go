@@ -171,7 +171,10 @@ func RunChild(cfg ChildConfig) error {
 		return err
 	}
 
-	// Connect to the broker, retrying while it is still starting.
+	// Connect to the broker, retrying while it is still starting. The
+	// handler hands each message to the dispatcher goroutine, which is safe
+	// because DialBus delivers a fresh message per frame — only the
+	// connection's frame buffers are reused underneath.
 	var client *bus.TCPClient
 	deadline := time.Now().Add(30 * time.Second)
 	for {

@@ -334,7 +334,10 @@ func StartSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		}
 	})
 
-	// Parent-resident bus clients.
+	// Parent-resident bus clients. Handlers post messages onto the
+	// dispatcher goroutine; DialBus guarantees a fresh message per frame
+	// (only the connection's frame buffers are reused), so the handoff
+	// never races with the read loop.
 	addr := s.broker.Address()
 	s.fdClient, err = bus.DialBus(addr, xmlcmd.AddrFD, func(m *xmlcmd.Message) {
 		disp.Post(func() { mgr.Deliver(m) })

@@ -1,0 +1,1043 @@
+package xmlcmd
+
+// This file is the hot wire path: a hand-rolled encoder/decoder for the
+// fixed xmlcmd vocabulary, replacing reflection-driven encoding/xml on
+// every TCP frame. The real-time runtime serializes each liveness ping,
+// command and telemetry sample through this codec, so it is written for
+// zero steady-state allocations:
+//
+//   - AppendEncode appends the wire form to a caller-owned buffer and
+//     produces output byte-identical to xml.Marshal for every valid
+//     message (pinned by the corpus test in codec_test.go), so the frame
+//     format is unchanged on the wire.
+//   - DecodeInto parses the known envelope/attribute grammar directly —
+//     no reflection, no xml.Decoder — reusing the destination message's
+//     body structs and interning the well-known bus addresses, so a
+//     ping/pong decode allocates nothing in steady state.
+//
+// The decoder is deliberately *stricter* than encoding/xml: everything it
+// accepts, encoding/xml accepts with an identical result (the property
+// FuzzCodecDiff checks), but it rejects XML it will never see from the
+// encoder (comments, processing instructions, namespaces, unknown
+// elements). Rejecting a frame tears down the connection exactly as a
+// corrupt frame always has, so strictness is safe; accepting something
+// encoding/xml would reject (or reading it differently) would be a silent
+// wire-format fork, which the fuzz target exists to prevent.
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strconv"
+	"unicode/utf8"
+)
+
+// AppendEncode validates m and appends its XML wire form to dst, returning
+// the extended buffer. The output is byte-identical to xml.Marshal. On
+// error the returned buffer is dst unchanged. The appended frame is
+// limited to MaxFrame. Steady state performs zero allocations once dst has
+// capacity.
+func AppendEncode(dst []byte, m *Message) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return dst, err
+	}
+	start := len(dst)
+	dst = append(dst, `<message from="`...)
+	dst = appendEscaped(dst, m.From)
+	dst = append(dst, `" to="`...)
+	dst = appendEscaped(dst, m.To)
+	dst = append(dst, `" seq="`...)
+	dst = strconv.AppendUint(dst, m.Seq, 10)
+	dst = append(dst, `">`...)
+	switch {
+	case m.Ping != nil:
+		dst = append(dst, `<ping nonce="`...)
+		dst = strconv.AppendUint(dst, m.Ping.Nonce, 10)
+		dst = append(dst, `"></ping>`...)
+	case m.Pong != nil:
+		dst = append(dst, `<pong nonce="`...)
+		dst = strconv.AppendUint(dst, m.Pong.Nonce, 10)
+		dst = append(dst, `" incarnation="`...)
+		dst = strconv.AppendInt(dst, int64(m.Pong.Incarnation), 10)
+		dst = append(dst, `"></pong>`...)
+	case m.Command != nil:
+		dst = append(dst, `<command name="`...)
+		dst = appendEscaped(dst, m.Command.Name)
+		dst = append(dst, `">`...)
+		dst = appendParams(dst, m.Command.Params)
+		dst = append(dst, `</command>`...)
+	case m.Ack != nil:
+		dst = append(dst, `<ack of="`...)
+		dst = strconv.AppendUint(dst, m.Ack.OfSeq, 10)
+		dst = append(dst, `" ok="`...)
+		dst = strconv.AppendBool(dst, m.Ack.OK)
+		if m.Ack.Error != "" {
+			dst = append(dst, `" error="`...)
+			dst = appendEscaped(dst, m.Ack.Error)
+		}
+		dst = append(dst, `"></ack>`...)
+	case m.Telemetry != nil:
+		dst = append(dst, `<telemetry key="`...)
+		dst = appendEscaped(dst, m.Telemetry.Key)
+		dst = append(dst, `" value="`...)
+		dst = strconv.AppendFloat(dst, m.Telemetry.Value, 'g', -1, 64)
+		dst = append(dst, `" atUnixMilli="`...)
+		dst = strconv.AppendInt(dst, m.Telemetry.AtUnixMilli, 10)
+		dst = append(dst, `"></telemetry>`...)
+	case m.Event != nil:
+		dst = append(dst, `<event name="`...)
+		dst = appendEscaped(dst, m.Event.Name)
+		if m.Event.Detail != "" {
+			dst = append(dst, `" detail="`...)
+			dst = appendEscaped(dst, m.Event.Detail)
+		}
+		dst = append(dst, `">`...)
+		dst = appendParams(dst, m.Event.Params)
+		dst = append(dst, `</event>`...)
+	case m.Sync != nil:
+		dst = append(dst, `<sync epoch="`...)
+		dst = strconv.AppendInt(dst, m.Sync.Epoch, 10)
+		dst = append(dst, `"></sync>`...)
+	case m.SyncAck != nil:
+		dst = append(dst, `<syncack epoch="`...)
+		dst = strconv.AppendInt(dst, m.SyncAck.Epoch, 10)
+		dst = append(dst, `"></syncack>`...)
+	case m.Health != nil:
+		dst = append(dst, `<health incarnation="`...)
+		dst = strconv.AppendInt(dst, int64(m.Health.Incarnation), 10)
+		dst = append(dst, `" uptimeMs="`...)
+		dst = strconv.AppendInt(dst, m.Health.UptimeMs, 10)
+		dst = append(dst, `" queueDepth="`...)
+		dst = strconv.AppendInt(dst, int64(m.Health.QueueDepth), 10)
+		dst = append(dst, `" ageScore="`...)
+		dst = strconv.AppendFloat(dst, m.Health.AgeScore, 'g', -1, 64)
+		dst = append(dst, `" warnings="`...)
+		dst = strconv.AppendInt(dst, int64(m.Health.Warnings), 10)
+		dst = append(dst, `" suspect="`...)
+		dst = strconv.AppendBool(dst, m.Health.Suspect)
+		dst = append(dst, `"></health>`...)
+	}
+	dst = append(dst, `</message>`...)
+	if len(dst)-start > MaxFrame {
+		return dst[:start], ErrFrameTooLarge
+	}
+	return dst, nil
+}
+
+func appendParams(dst []byte, params []Param) []byte {
+	for i := range params {
+		dst = append(dst, `<param key="`...)
+		dst = appendEscaped(dst, params[i].Key)
+		dst = append(dst, `" value="`...)
+		dst = appendEscaped(dst, params[i].Value)
+		dst = append(dst, `"></param>`...)
+	}
+	return dst
+}
+
+// appendEscaped appends s with the exact escaping xml's EscapeString
+// applies to attribute values, including the replacement-character
+// handling for invalid UTF-8 and characters outside the XML range.
+func appendEscaped(dst []byte, s string) []byte {
+	last := 0
+	for i := 0; i < len(s); {
+		r, w := utf8.DecodeRuneInString(s[i:])
+		var esc string
+		switch r {
+		case '"':
+			esc = "&#34;"
+		case '\'':
+			esc = "&#39;"
+		case '&':
+			esc = "&amp;"
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		case '\t':
+			esc = "&#x9;"
+		case '\n':
+			esc = "&#xA;"
+		case '\r':
+			esc = "&#xD;"
+		default:
+			if !isXMLChar(r) || (r == utf8.RuneError && w == 1) {
+				esc = "�"
+				break
+			}
+			i += w
+			continue
+		}
+		dst = append(dst, s[last:i]...)
+		dst = append(dst, esc...)
+		i += w
+		last = i
+	}
+	return append(dst, s[last:]...)
+}
+
+// isXMLChar reports whether r is in the XML 1.0 character range (the same
+// predicate encoding/xml applies to both input and output).
+func isXMLChar(r rune) bool {
+	return r == 0x09 || r == 0x0A || r == 0x0D ||
+		r >= 0x20 && r <= 0xD7FF ||
+		r >= 0xE000 && r <= 0xFFFD ||
+		r >= 0x10000 && r <= 0x10FFFF
+}
+
+// Decoder errors. These are static so the reject path of a hostile frame
+// allocates as little as possible.
+var (
+	errBadSyntax   = errors.New("malformed frame")
+	errBadName     = errors.New("bad element or attribute name")
+	errBadAttr     = errors.New("bad attribute value")
+	errBadEntity   = errors.New("bad entity reference")
+	errBadChar     = errors.New("character outside XML range")
+	errBadUTF8     = errors.New("invalid UTF-8")
+	errUnknownElem = errors.New("unknown element")
+	errMismatch    = errors.New("mismatched end tag")
+	errTrailing    = errors.New("trailing data after envelope")
+	errNamespaced  = errors.New("namespaced frames not supported")
+)
+
+// decodeScratch holds one instance of every body type so DecodeInto can
+// rebuild a message without allocating. It hangs off the Message lazily:
+// messages built by the New* constructors never pay for it.
+type decodeScratch struct {
+	ping      Ping
+	pong      Pong
+	command   Command
+	ack       Ack
+	telemetry Telemetry
+	event     Event
+	sync      Sync
+	syncAck   SyncAck
+	health    Health
+}
+
+// DecodeInto parses and validates a message from its XML wire form into m,
+// reusing m's internal scratch bodies and parameter slices. The decoded
+// message (including its body pointer) is only valid until the next
+// DecodeInto on the same m — callers that hand messages to another
+// goroutine must decode into a fresh Message (Decode does). Steady state
+// performs zero allocations for frames whose strings are all interned
+// well-known tokens (every ping/pong is).
+func DecodeInto(b []byte, m *Message) error {
+	if len(b) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	if m.scratch == nil {
+		m.scratch = new(decodeScratch)
+	}
+	m.XMLName = xml.Name{Local: "message"}
+	m.From, m.To, m.Seq = "", "", 0
+	m.Ping, m.Pong, m.Command, m.Ack = nil, nil, nil, nil
+	m.Telemetry, m.Event, m.Sync, m.SyncAck, m.Health = nil, nil, nil, nil, nil
+	d := decoder{b: b, m: m}
+	if err := d.parse(); err != nil {
+		return fmt.Errorf("xmlcmd: unmarshal: %w", err)
+	}
+	return m.Validate()
+}
+
+// internedStrings maps the wire bytes of well-known tokens — bus addresses
+// and the control-command vocabulary — to shared string constants, so
+// decoding them allocates nothing. Lookup with a []byte key compiles to a
+// no-copy map access.
+var internedStrings = map[string]string{
+	AddrMBus:     AddrMBus,
+	AddrFedrcom:  AddrFedrcom,
+	AddrFedr:     AddrFedr,
+	AddrPbcom:    AddrPbcom,
+	AddrSES:      AddrSES,
+	AddrSTR:      AddrSTR,
+	AddrRTU:      AddrRTU,
+	AddrFD:       AddrFD,
+	AddrREC:      AddrREC,
+	"supervisor": "supervisor",
+	"ctl":        "ctl",
+	"faultgen":   "faultgen",
+	"register":   "register",
+	"sys-hang":   "sys-hang",
+}
+
+// intern returns a shared string for well-known wire tokens, copying only
+// unknown ones.
+func intern(b []byte) string {
+	if s, ok := internedStrings[string(b)]; ok {
+		return s
+	}
+	return string(b)
+}
+
+// decoder is a pull parser over one frame.
+type decoder struct {
+	b   []byte
+	i   int
+	m   *Message
+	tmp []byte // entity/CR expansion buffer; allocated only when needed
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+func (d *decoder) skipSpace() {
+	for d.i < len(d.b) && isSpace(d.b[d.i]) {
+		d.i++
+	}
+}
+
+// readName consumes an element or attribute name. Only the ASCII subset of
+// XML names is accepted — a strict subset of what encoding/xml allows, and
+// everything the encoder emits. Colons are rejected, so namespaced input
+// never parses (keeping decoded messages identical to encoding/xml's,
+// which would otherwise record a namespace).
+func (d *decoder) readName() ([]byte, error) {
+	start := d.i
+	if d.i >= len(d.b) {
+		return nil, errBadSyntax
+	}
+	c := d.b[d.i]
+	if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_') {
+		return nil, errBadName
+	}
+	d.i++
+	for d.i < len(d.b) {
+		c = d.b[d.i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.' {
+			d.i++
+			continue
+		}
+		break
+	}
+	return d.b[start:d.i], nil
+}
+
+// parse reads the whole envelope: <message ...> body </message>.
+func (d *decoder) parse() error {
+	d.skipSpace()
+	if d.i >= len(d.b) || d.b[d.i] != '<' {
+		return errBadSyntax
+	}
+	d.i++
+	name, err := d.readName()
+	if err != nil {
+		return err
+	}
+	if string(name) != "message" {
+		return errUnknownElem
+	}
+	selfClose, err := d.parseAttrs(d.messageAttr)
+	if err != nil {
+		return err
+	}
+	if !selfClose {
+		if err := d.parseBodies(); err != nil {
+			return err
+		}
+	}
+	d.skipSpace()
+	if d.i != len(d.b) {
+		return errTrailing
+	}
+	return nil
+}
+
+func (d *decoder) messageAttr(name, val []byte) error {
+	switch string(name) {
+	case "from":
+		d.m.From = intern(val)
+	case "to":
+		d.m.To = intern(val)
+	case "seq":
+		n, ok := parseUint(val)
+		if !ok {
+			return errBadAttr
+		}
+		d.m.Seq = n
+	}
+	return nil
+}
+
+// parseBodies reads child elements until </message>.
+func (d *decoder) parseBodies() error {
+	for {
+		d.skipSpace()
+		if d.i >= len(d.b) || d.b[d.i] != '<' {
+			return errBadSyntax
+		}
+		d.i++
+		if d.i < len(d.b) && d.b[d.i] == '/' {
+			d.i++
+			return d.closeTag("message")
+		}
+		name, err := d.readName()
+		if err != nil {
+			return err
+		}
+		switch string(name) {
+		case "ping":
+			err = d.ping()
+		case "pong":
+			err = d.pong()
+		case "command":
+			err = d.command()
+		case "ack":
+			err = d.ack()
+		case "telemetry":
+			err = d.telemetry()
+		case "event":
+			err = d.event()
+		case "sync":
+			err = d.sync()
+		case "syncack":
+			err = d.syncAck()
+		case "health":
+			err = d.health()
+		default:
+			return errUnknownElem
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// closeTag consumes the remainder of an already-opened end tag: the name
+// (which must match want) and the closing '>'.
+func (d *decoder) closeTag(want string) error {
+	name, err := d.readName()
+	if err != nil {
+		return err
+	}
+	if string(name) != want {
+		return errMismatch
+	}
+	d.skipSpace()
+	if d.i >= len(d.b) || d.b[d.i] != '>' {
+		return errBadSyntax
+	}
+	d.i++
+	return nil
+}
+
+// closeSimple consumes whitespace and the end tag of a childless element.
+func (d *decoder) closeSimple(want string) error {
+	d.skipSpace()
+	if d.i+1 >= len(d.b) || d.b[d.i] != '<' || d.b[d.i+1] != '/' {
+		return errBadSyntax
+	}
+	d.i += 2
+	return d.closeTag(want)
+}
+
+// parseAttrs reads the attribute list of the element whose name has just
+// been consumed, invoking set for each known attribute (unknown ones are
+// parsed and validated, then dropped, as encoding/xml drops them). It
+// reports whether the element was self-closing.
+func (d *decoder) parseAttrs(set func(name, val []byte) error) (selfClose bool, err error) {
+	for {
+		d.skipSpace()
+		if d.i >= len(d.b) {
+			return false, errBadSyntax
+		}
+		switch d.b[d.i] {
+		case '>':
+			d.i++
+			return false, nil
+		case '/':
+			d.i++
+			if d.i >= len(d.b) || d.b[d.i] != '>' {
+				return false, errBadSyntax
+			}
+			d.i++
+			return true, nil
+		}
+		name, err := d.readName()
+		if err != nil {
+			return false, err
+		}
+		if string(name) == "xmlns" {
+			return false, errNamespaced
+		}
+		d.skipSpace()
+		if d.i >= len(d.b) || d.b[d.i] != '=' {
+			return false, errBadSyntax
+		}
+		d.i++
+		d.skipSpace()
+		val, err := d.attrValue()
+		if err != nil {
+			return false, err
+		}
+		if err := set(name, val); err != nil {
+			return false, err
+		}
+	}
+}
+
+// attrValue reads a quoted attribute value, expanding entity references
+// and normalising \r / \r\n to \n exactly as encoding/xml does, and
+// enforcing the XML character range on the result. The returned slice
+// aliases either the input (fast path) or d.tmp, and is valid until the
+// next attrValue call.
+func (d *decoder) attrValue() ([]byte, error) {
+	if d.i >= len(d.b) {
+		return nil, errBadSyntax
+	}
+	quote := d.b[d.i]
+	if quote != '"' && quote != '\'' {
+		return nil, errBadSyntax
+	}
+	d.i++
+	start := d.i
+	// Fast path: scan for the closing quote; fall into the expanding path
+	// at the first entity reference or carriage return.
+	for d.i < len(d.b) {
+		c := d.b[d.i]
+		switch {
+		case c == quote:
+			v := d.b[start:d.i]
+			d.i++
+			return v, nil
+		case c == '&' || c == '\r':
+			return d.attrValueSlow(start, quote)
+		case c == '<':
+			// Forbidden in attribute values by the XML grammar; the
+			// encoder always escapes it.
+			return nil, errBadSyntax
+		case c < 0x20 && c != '\t' && c != '\n':
+			return nil, errBadChar
+		case c < utf8.RuneSelf:
+			d.i++
+		default:
+			r, w := utf8.DecodeRune(d.b[d.i:])
+			if r == utf8.RuneError && w == 1 {
+				return nil, errBadUTF8
+			}
+			if !isXMLChar(r) {
+				return nil, errBadChar
+			}
+			d.i += w
+		}
+	}
+	return nil, errBadSyntax
+}
+
+// attrValueSlow finishes an attribute value that needs rewriting, copying
+// into d.tmp.
+func (d *decoder) attrValueSlow(start int, quote byte) ([]byte, error) {
+	d.tmp = append(d.tmp[:0], d.b[start:d.i]...)
+	for d.i < len(d.b) {
+		c := d.b[d.i]
+		switch {
+		case c == quote:
+			d.i++
+			return d.tmp, nil
+		case c == '&':
+			r, err := d.entity()
+			if err != nil {
+				return nil, err
+			}
+			d.tmp = utf8.AppendRune(d.tmp, r)
+		case c == '\r':
+			d.i++
+			if d.i < len(d.b) && d.b[d.i] == '\n' {
+				d.i++
+			}
+			d.tmp = append(d.tmp, '\n')
+		case c == '<':
+			return nil, errBadSyntax
+		case c < 0x20 && c != '\t' && c != '\n':
+			return nil, errBadChar
+		case c < utf8.RuneSelf:
+			d.tmp = append(d.tmp, c)
+			d.i++
+		default:
+			r, w := utf8.DecodeRune(d.b[d.i:])
+			if r == utf8.RuneError && w == 1 {
+				return nil, errBadUTF8
+			}
+			if !isXMLChar(r) {
+				return nil, errBadChar
+			}
+			d.tmp = append(d.tmp, d.b[d.i:d.i+w]...)
+			d.i += w
+		}
+	}
+	return nil, errBadSyntax
+}
+
+// entity parses one entity reference starting at '&': the five predefined
+// names plus decimal and (lowercase-x) hexadecimal character references.
+// The resulting rune must be in the XML character range — a strict subset
+// of encoding/xml, which launders out-of-range references through U+FFFD.
+func (d *decoder) entity() (rune, error) {
+	d.i++ // consume '&'
+	if d.i < len(d.b) && d.b[d.i] == '#' {
+		d.i++
+		base := uint32(10)
+		if d.i < len(d.b) && d.b[d.i] == 'x' {
+			base = 16
+			d.i++
+		}
+		var n uint32
+		digits := 0
+		for d.i < len(d.b) {
+			c := d.b[d.i]
+			var v uint32
+			switch {
+			case c >= '0' && c <= '9':
+				v = uint32(c - '0')
+			case base == 16 && c >= 'a' && c <= 'f':
+				v = uint32(c-'a') + 10
+			case base == 16 && c >= 'A' && c <= 'F':
+				v = uint32(c-'A') + 10
+			case c == ';':
+				if digits == 0 {
+					return 0, errBadEntity
+				}
+				d.i++
+				r := rune(n)
+				if !isXMLChar(r) {
+					return 0, errBadChar
+				}
+				return r, nil
+			default:
+				return 0, errBadEntity
+			}
+			n = n*base + v
+			if n > utf8.MaxRune {
+				return 0, errBadEntity
+			}
+			digits++
+			d.i++
+		}
+		return 0, errBadEntity
+	}
+	start := d.i
+	for d.i < len(d.b) && d.i-start <= 4 {
+		if d.b[d.i] == ';' {
+			name := d.b[start:d.i]
+			d.i++
+			switch string(name) {
+			case "lt":
+				return '<', nil
+			case "gt":
+				return '>', nil
+			case "amp":
+				return '&', nil
+			case "apos":
+				return '\'', nil
+			case "quot":
+				return '"', nil
+			}
+			return 0, errBadEntity
+		}
+		d.i++
+	}
+	return 0, errBadEntity
+}
+
+// Body element parsers. Each parses attributes, consumes the end tag, and
+// installs the body pointer. The scratch struct is zeroed only on the
+// element's FIRST occurrence in a frame: encoding/xml unmarshals a
+// repeated element into the same (already-populated) struct, so later
+// occurrences merge — attributes they omit keep the earlier values, and
+// param lists append (FuzzCodecDiff holds the codec to exactly that).
+
+func (d *decoder) ping() error {
+	p := &d.m.scratch.ping
+	if d.m.Ping == nil {
+		*p = Ping{}
+	}
+	selfClose, err := d.parseAttrs(func(name, val []byte) error {
+		if string(name) == "nonce" {
+			n, ok := parseUint(val)
+			if !ok {
+				return errBadAttr
+			}
+			p.Nonce = n
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !selfClose {
+		if err := d.closeSimple("ping"); err != nil {
+			return err
+		}
+	}
+	d.m.Ping = p
+	return nil
+}
+
+func (d *decoder) pong() error {
+	p := &d.m.scratch.pong
+	if d.m.Pong == nil {
+		*p = Pong{}
+	}
+	selfClose, err := d.parseAttrs(func(name, val []byte) error {
+		switch string(name) {
+		case "nonce":
+			n, ok := parseUint(val)
+			if !ok {
+				return errBadAttr
+			}
+			p.Nonce = n
+		case "incarnation":
+			n, ok := parseInt(val)
+			if !ok {
+				return errBadAttr
+			}
+			p.Incarnation = int(n)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !selfClose {
+		if err := d.closeSimple("pong"); err != nil {
+			return err
+		}
+	}
+	d.m.Pong = p
+	return nil
+}
+
+func (d *decoder) command() error {
+	c := &d.m.scratch.command
+	if d.m.Command == nil {
+		c.Name = ""
+		c.Params = c.Params[:0]
+	}
+	selfClose, err := d.parseAttrs(func(name, val []byte) error {
+		if string(name) == "name" {
+			c.Name = intern(val)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !selfClose {
+		if err := d.params(&c.Params, "command"); err != nil {
+			return err
+		}
+	}
+	d.m.Command = c
+	return nil
+}
+
+func (d *decoder) event() error {
+	e := &d.m.scratch.event
+	if d.m.Event == nil {
+		e.Name = ""
+		e.Detail = ""
+		e.Params = e.Params[:0]
+	}
+	selfClose, err := d.parseAttrs(func(name, val []byte) error {
+		switch string(name) {
+		case "name":
+			e.Name = intern(val)
+		case "detail":
+			e.Detail = intern(val)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !selfClose {
+		if err := d.params(&e.Params, "event"); err != nil {
+			return err
+		}
+	}
+	d.m.Event = e
+	return nil
+}
+
+// params reads <param .../> children until the parent's end tag.
+func (d *decoder) params(dst *[]Param, parent string) error {
+	for {
+		d.skipSpace()
+		if d.i >= len(d.b) || d.b[d.i] != '<' {
+			return errBadSyntax
+		}
+		d.i++
+		if d.i < len(d.b) && d.b[d.i] == '/' {
+			d.i++
+			return d.closeTag(parent)
+		}
+		name, err := d.readName()
+		if err != nil {
+			return err
+		}
+		if string(name) != "param" {
+			return errUnknownElem
+		}
+		var p Param
+		selfClose, err := d.parseAttrs(func(name, val []byte) error {
+			switch string(name) {
+			case "key":
+				p.Key = intern(val)
+			case "value":
+				p.Value = intern(val)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if !selfClose {
+			if err := d.closeSimple("param"); err != nil {
+				return err
+			}
+		}
+		*dst = append(*dst, p)
+	}
+}
+
+func (d *decoder) ack() error {
+	a := &d.m.scratch.ack
+	if d.m.Ack == nil {
+		*a = Ack{}
+	}
+	selfClose, err := d.parseAttrs(func(name, val []byte) error {
+		switch string(name) {
+		case "of":
+			n, ok := parseUint(val)
+			if !ok {
+				return errBadAttr
+			}
+			a.OfSeq = n
+		case "ok":
+			b, ok := parseBool(val)
+			if !ok {
+				return errBadAttr
+			}
+			a.OK = b
+		case "error":
+			a.Error = intern(val)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !selfClose {
+		if err := d.closeSimple("ack"); err != nil {
+			return err
+		}
+	}
+	d.m.Ack = a
+	return nil
+}
+
+func (d *decoder) telemetry() error {
+	t := &d.m.scratch.telemetry
+	if d.m.Telemetry == nil {
+		*t = Telemetry{}
+	}
+	selfClose, err := d.parseAttrs(func(name, val []byte) error {
+		switch string(name) {
+		case "key":
+			t.Key = intern(val)
+		case "value":
+			f, err := strconv.ParseFloat(string(val), 64)
+			if err != nil {
+				return errBadAttr
+			}
+			t.Value = f
+		case "atUnixMilli":
+			n, ok := parseInt(val)
+			if !ok {
+				return errBadAttr
+			}
+			t.AtUnixMilli = n
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !selfClose {
+		if err := d.closeSimple("telemetry"); err != nil {
+			return err
+		}
+	}
+	d.m.Telemetry = t
+	return nil
+}
+
+func (d *decoder) sync() error {
+	s := &d.m.scratch.sync
+	if d.m.Sync == nil {
+		*s = Sync{}
+	}
+	selfClose, err := d.parseAttrs(func(name, val []byte) error {
+		if string(name) == "epoch" {
+			n, ok := parseInt(val)
+			if !ok {
+				return errBadAttr
+			}
+			s.Epoch = n
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !selfClose {
+		if err := d.closeSimple("sync"); err != nil {
+			return err
+		}
+	}
+	d.m.Sync = s
+	return nil
+}
+
+func (d *decoder) syncAck() error {
+	s := &d.m.scratch.syncAck
+	if d.m.SyncAck == nil {
+		*s = SyncAck{}
+	}
+	selfClose, err := d.parseAttrs(func(name, val []byte) error {
+		if string(name) == "epoch" {
+			n, ok := parseInt(val)
+			if !ok {
+				return errBadAttr
+			}
+			s.Epoch = n
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !selfClose {
+		if err := d.closeSimple("syncack"); err != nil {
+			return err
+		}
+	}
+	d.m.SyncAck = s
+	return nil
+}
+
+func (d *decoder) health() error {
+	h := &d.m.scratch.health
+	if d.m.Health == nil {
+		*h = Health{}
+	}
+	selfClose, err := d.parseAttrs(func(name, val []byte) error {
+		switch string(name) {
+		case "incarnation":
+			n, ok := parseInt(val)
+			if !ok {
+				return errBadAttr
+			}
+			h.Incarnation = int(n)
+		case "uptimeMs":
+			n, ok := parseInt(val)
+			if !ok {
+				return errBadAttr
+			}
+			h.UptimeMs = n
+		case "queueDepth":
+			n, ok := parseInt(val)
+			if !ok {
+				return errBadAttr
+			}
+			h.QueueDepth = int(n)
+		case "ageScore":
+			f, err := strconv.ParseFloat(string(val), 64)
+			if err != nil {
+				return errBadAttr
+			}
+			h.AgeScore = f
+		case "warnings":
+			n, ok := parseInt(val)
+			if !ok {
+				return errBadAttr
+			}
+			h.Warnings = int(n)
+		case "suspect":
+			b, ok := parseBool(val)
+			if !ok {
+				return errBadAttr
+			}
+			h.Suspect = b
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !selfClose {
+		if err := d.closeSimple("health"); err != nil {
+			return err
+		}
+	}
+	d.m.Health = h
+	return nil
+}
+
+// parseUint mirrors strconv.ParseUint(s, 10, 64) over bytes without
+// forcing a string allocation: digits only, overflow rejected.
+func parseUint(v []byte) (uint64, bool) {
+	if len(v) == 0 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range v {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		if n > (1<<64-1)/10 {
+			return 0, false
+		}
+		n *= 10
+		d := uint64(c - '0')
+		if n+d < n {
+			return 0, false
+		}
+		n += d
+	}
+	return n, true
+}
+
+// parseInt mirrors strconv.ParseInt(s, 10, 64) over bytes.
+func parseInt(v []byte) (int64, bool) {
+	neg := false
+	if len(v) > 0 && (v[0] == '+' || v[0] == '-') {
+		neg = v[0] == '-'
+		v = v[1:]
+	}
+	n, ok := parseUint(v)
+	if !ok {
+		return 0, false
+	}
+	if !neg {
+		if n > 1<<63-1 {
+			return 0, false
+		}
+		return int64(n), true
+	}
+	if n > 1<<63 {
+		return 0, false
+	}
+	return -int64(n), true
+}
+
+// parseBool accepts exactly the strconv.ParseBool vocabulary.
+func parseBool(v []byte) (bool, bool) {
+	switch string(v) {
+	case "1", "t", "T", "true", "TRUE", "True":
+		return true, true
+	case "0", "f", "F", "false", "FALSE", "False":
+		return false, true
+	}
+	return false, false
+}

@@ -48,7 +48,9 @@ const (
 	KindHealth
 )
 
-var kindNames = map[Kind]string{
+// kindNames is indexed by Kind: String is called on every trace line, so
+// it must not pay for a map lookup.
+var kindNames = [...]string{
 	KindInvalid:   "invalid",
 	KindPing:      "ping",
 	KindPong:      "pong",
@@ -63,8 +65,8 @@ var kindNames = map[Kind]string{
 
 // String returns the element name of the kind.
 func (k Kind) String() string {
-	if s, ok := kindNames[k]; ok {
-		return s
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
 	}
 	return "kind(" + strconv.Itoa(int(k)) + ")"
 }
@@ -102,6 +104,10 @@ type Message struct {
 	Sync      *Sync      `xml:"sync"`
 	SyncAck   *SyncAck   `xml:"syncack"`
 	Health    *Health    `xml:"health"`
+
+	// scratch holds reusable body structs for DecodeInto (invisible to
+	// encoding/xml). See codec.go.
+	scratch *decodeScratch
 }
 
 // Ping is an application-level liveness probe ("are you alive?").
@@ -208,17 +214,37 @@ func (m *Message) Kind() Kind {
 	return KindInvalid
 }
 
-// bodyCount returns how many bodies are set.
+// bodyCount returns how many bodies are set. It runs inside Validate on
+// every encode and decode, so it is straight-line code: the obvious slice
+// literal costs an allocation per call.
 func (m *Message) bodyCount() int {
 	n := 0
-	for _, set := range []bool{
-		m.Ping != nil, m.Pong != nil, m.Command != nil, m.Ack != nil,
-		m.Telemetry != nil, m.Event != nil, m.Sync != nil,
-		m.SyncAck != nil, m.Health != nil,
-	} {
-		if set {
-			n++
-		}
+	if m.Ping != nil {
+		n++
+	}
+	if m.Pong != nil {
+		n++
+	}
+	if m.Command != nil {
+		n++
+	}
+	if m.Ack != nil {
+		n++
+	}
+	if m.Telemetry != nil {
+		n++
+	}
+	if m.Event != nil {
+		n++
+	}
+	if m.Sync != nil {
+		n++
+	}
+	if m.SyncAck != nil {
+		n++
+	}
+	if m.Health != nil {
+		n++
 	}
 	return n
 }
@@ -265,7 +291,34 @@ func (m *Message) String() string {
 const MaxFrame = 64 * 1024
 
 // Encode marshals the message to its XML wire form after validating it.
+// It is a thin wrapper over AppendEncode (codec.go); callers on the hot
+// path should hold their own buffer and call AppendEncode directly.
 func Encode(m *Message) ([]byte, error) {
+	b, err := AppendEncode(nil, m)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Decode parses and validates a message from its XML wire form. It is a
+// thin wrapper over DecodeInto (codec.go) allocating a fresh Message, so
+// the result can safely outlive the next frame; callers on the hot path
+// that consume the message before reading the next frame should reuse a
+// Message with DecodeInto.
+func Decode(b []byte) (*Message, error) {
+	m := new(Message)
+	if err := DecodeInto(b, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// StdEncode is the retained encoding/xml implementation Encode wrapped
+// before the hand-rolled codec existed. It survives as the reference the
+// corpus-equivalence test and FuzzCodecDiff compare against, and as the
+// baseline `rrbench wire` measures.
+func StdEncode(m *Message) ([]byte, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -279,8 +332,8 @@ func Encode(m *Message) ([]byte, error) {
 	return b, nil
 }
 
-// Decode parses and validates a message from its XML wire form.
-func Decode(b []byte) (*Message, error) {
+// StdDecode is the retained encoding/xml counterpart of StdEncode.
+func StdDecode(b []byte) (*Message, error) {
 	if len(b) > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}

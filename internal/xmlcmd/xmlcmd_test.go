@@ -210,14 +210,12 @@ func TestPropertyEventRoundTrip(t *testing.T) {
 	}
 }
 
-// validXMLText filters out characters encoding/xml cannot represent (it
-// rejects most control characters on marshal or mangles them on unmarshal).
+// validXMLText filters out characters encoding/xml cannot represent: it
+// replaces anything outside the XML character range (control characters,
+// U+FFFE, U+FFFF) with U+FFFD on marshal, so such strings cannot round-trip.
 func validXMLText(s string) bool {
 	for _, r := range s {
-		if r < 0x20 && r != '\t' && r != '\n' && r != '\r' {
-			return false
-		}
-		if r == 0xFFFD {
+		if !isXMLChar(r) || r == 0xFFFD {
 			return false
 		}
 	}
