@@ -6,8 +6,14 @@
 // client) can send it inject commands to kill components and watch the
 // automated recovery.
 //
-//	mercuryd -listen 127.0.0.1:7707 -tree IV -scale 10
+// With -obs the daemon also serves a local HTTP observability plane:
+// GET /metrics (Prometheus text), GET /healthz (the failure detector's
+// component liveness view as JSON) and GET /tree (the active restart
+// tree with per-node state as JSON). See OPERATIONS.md for a guide.
+//
+//	mercuryd -listen 127.0.0.1:7707 -tree IV -scale 10 -obs 127.0.0.1:7790
 //	faultgen -bus 127.0.0.1:7707 -kill rtu
+//	curl -s 127.0.0.1:7790/metrics | grep mercury_rec
 package main
 
 import (
@@ -20,8 +26,10 @@ import (
 	"time"
 
 	"github.com/recursive-restart/mercury/internal/bus"
+	"github.com/recursive-restart/mercury/internal/core"
 	"github.com/recursive-restart/mercury/internal/fault"
 	"github.com/recursive-restart/mercury/internal/mp"
+	"github.com/recursive-restart/mercury/internal/proc"
 	"github.com/recursive-restart/mercury/internal/rt"
 	"github.com/recursive-restart/mercury/internal/trace"
 	"github.com/recursive-restart/mercury/internal/xmlcmd"
@@ -47,109 +55,145 @@ func main() {
 		killAt    = flag.Duration("kill-after", 5*time.Second, "wall-time delay before -kill")
 		quiet     = flag.Bool("quiet", false, "suppress the live trace stream")
 		multiproc = flag.Bool("multiproc", false, "run every component as its own OS process (per-JVM fidelity)")
+		obsAddr   = flag.String("obs", "", "HTTP address for the observability endpoints (/metrics, /healthz, /tree); empty = disabled")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
-	var err error
-	if *multiproc {
-		err = runMultiProc(*listen, *tree, *scale, *seed, *duration, *kill, *killAt, *quiet)
-	} else {
-		err = run(*listen, *tree, *scale, *seed, *duration, *kill, *killAt, *quiet)
+	if *version {
+		fmt.Println("mercuryd", buildVersion())
+		return
 	}
-	if err != nil {
+	opts := options{
+		listen:    *listen,
+		tree:      *tree,
+		scale:     *scale,
+		seed:      *seed,
+		duration:  *duration,
+		kill:      *kill,
+		killAt:    *killAt,
+		quiet:     *quiet,
+		multiproc: *multiproc,
+		obsAddr:   *obsAddr,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "mercuryd:", err)
 		os.Exit(1)
 	}
 }
 
-// runMultiProc supervises one OS process per component.
-func runMultiProc(listen, tree string, scale float64, seed int64, duration time.Duration,
-	kill string, killAt time.Duration, quiet bool) error {
-	fmt.Printf("mercuryd: booting multi-process (tree %s, scale %.0fx, bus %s)...\n", tree, scale, listen)
-	sup, err := mp.StartSupervisor(mp.SupervisorConfig{
-		ListenAddr: listen,
-		Scale:      scale,
-		TreeName:   tree,
-		Seed:       seed,
-	})
-	if err != nil {
-		return err
-	}
-	defer sup.Stop()
-
-	if !quiet {
-		sup.Log.Subscribe(func(e trace.Event) {
-			switch e.Kind {
-			case trace.FaultInjected, trace.FailureDetected, trace.OracleGuess,
-				trace.RestartRequested, trace.ComponentReady, trace.ComponentDown,
-				trace.GiveUp:
-				fmt.Println("  ", e)
-			}
-		})
-	}
-	fmt.Printf("mercuryd: station up; bus at %s\n", sup.BusAddr())
-	for _, comp := range sup.Components() {
-		if pid := sup.ChildPID(comp); pid != 0 {
-			fmt.Printf("  %-8s pid %d\n", comp, pid)
-		} else {
-			fmt.Printf("  %-8s (in supervisor)\n", comp)
-		}
-	}
-	fmt.Println(sup.Tree.Render())
-
-	ctl, err := bus.DialBus(sup.BusAddr(), "ctl", func(m *xmlcmd.Message) {
-		if m.Kind() != xmlcmd.KindCommand || m.Command.Name != "inject" {
-			return
-		}
-		comp, _ := m.Command.Param("component")
-		fmt.Printf("mercuryd: inject request from %s: kill %s\n", m.From, comp)
-		if err := sup.Inject(fault.Fault{Manifest: comp}); err != nil {
-			fmt.Println("mercuryd: inject failed:", err)
-		}
-	})
-	if err != nil {
-		return fmt.Errorf("control client: %w", err)
-	}
-	defer ctl.Close()
-
-	if kill != "" {
-		time.AfterFunc(killAt, func() {
-			fmt.Printf("mercuryd: demo kill of %s (SIGKILL to its process)\n", kill)
-			if err := sup.Inject(fault.Fault{Manifest: kill}); err != nil {
-				fmt.Println("mercuryd: demo kill failed:", err)
-			}
-		})
-	}
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	if duration > 0 {
-		select {
-		case <-time.After(duration):
-		case <-sig:
-		}
-	} else {
-		<-sig
-	}
-	fmt.Println("mercuryd: shutting down")
-	return nil
+// options is the parsed command line.
+type options struct {
+	listen, tree string
+	scale        float64
+	seed         int64
+	duration     time.Duration
+	kill         string
+	killAt       time.Duration
+	quiet        bool
+	multiproc    bool
+	obsAddr      string
 }
 
-func run(listen, tree string, scale float64, seed int64, duration time.Duration,
-	kill string, killAt time.Duration, quiet bool) error {
-	fmt.Printf("mercuryd: booting (tree %s, scale %.0fx, bus %s)...\n", tree, scale, listen)
-	node, err := rt.StartNode(rt.NodeConfig{
-		ListenAddr: listen,
-		Scale:      scale,
-		TreeName:   tree,
-		Seed:       seed,
-	})
-	if err != nil {
-		return err
-	}
-	defer node.Stop()
+// stationView is the runtime-independent view of a booted station. The
+// command's common tail — trace stream, control client, observability
+// endpoints, shutdown — works only against this view, so the in-process
+// and multi-process runtimes share one code path.
+type stationView struct {
+	mode     string // "in-process" or "multiproc"
+	disp     *rt.Dispatcher
+	mgr      *proc.Manager
+	tree     *core.Tree
+	treeName string
+	fd       *core.FDHandle
+	rec      *core.RECHandle
+	comps    []string
+	busAddr  string
+	log      *trace.Log
+	inject   func(fault.Fault) error
+	pid      func(component string) int // nil when components run in-process
+	stop     func()
+}
 
-	if !quiet {
-		node.Log.Subscribe(func(e trace.Event) {
+// run boots the selected runtime and drives the common station lifecycle.
+func run(opts options) error {
+	mode := "in-process"
+	if opts.multiproc {
+		mode = "multi-process"
+	}
+	fmt.Printf("mercuryd: booting %s (tree %s, scale %.0fx, bus %s)...\n",
+		mode, opts.tree, opts.scale, opts.listen)
+
+	var view *stationView
+	if opts.multiproc {
+		sup, err := mp.StartSupervisor(mp.SupervisorConfig{
+			ListenAddr: opts.listen,
+			Scale:      opts.scale,
+			TreeName:   opts.tree,
+			Seed:       opts.seed,
+		})
+		if err != nil {
+			return err
+		}
+		view = supervisorView(sup, opts.tree)
+	} else {
+		node, err := rt.StartNode(rt.NodeConfig{
+			ListenAddr: opts.listen,
+			Scale:      opts.scale,
+			TreeName:   opts.tree,
+			Seed:       opts.seed,
+		})
+		if err != nil {
+			return err
+		}
+		view = nodeView(node)
+	}
+	defer view.stop()
+	return serve(view, opts)
+}
+
+// nodeView adapts the in-process runtime to the common station view.
+func nodeView(node *rt.Node) *stationView {
+	return &stationView{
+		mode:     "in-process",
+		disp:     node.Disp,
+		mgr:      node.Mgr,
+		tree:     node.Tree,
+		treeName: node.TreeName(),
+		fd:       node.FD,
+		rec:      node.REC,
+		comps:    node.Components(),
+		busAddr:  node.BusAddr(),
+		log:      node.Log,
+		inject:   node.Inject,
+		stop:     node.Stop,
+	}
+}
+
+// supervisorView adapts the multi-process runtime to the common view.
+func supervisorView(sup *mp.Supervisor, treeName string) *stationView {
+	return &stationView{
+		mode:     "multiproc",
+		disp:     sup.Disp,
+		mgr:      sup.Mgr,
+		tree:     sup.Tree,
+		treeName: treeName,
+		fd:       sup.FD,
+		rec:      sup.REC,
+		comps:    sup.Components(),
+		busAddr:  sup.BusAddr(),
+		log:      sup.Log,
+		inject:   sup.Inject,
+		pid:      sup.ChildPID,
+		stop:     sup.Stop,
+	}
+}
+
+// serve is the common post-boot path: trace stream, banner, observability
+// listener, control client, optional demo kill, then wait for the end of
+// the run and print the shutdown summary.
+func serve(view *stationView, opts options) error {
+	if !opts.quiet {
+		view.log.Subscribe(func(e trace.Event) {
 			switch e.Kind {
 			case trace.FaultInjected, trace.FailureDetected, trace.OracleGuess,
 				trace.RestartRequested, trace.ComponentReady, trace.ComponentDown,
@@ -158,11 +202,29 @@ func run(listen, tree string, scale float64, seed int64, duration time.Duration,
 			}
 		})
 	}
-	fmt.Printf("mercuryd: station up; bus at %s\n", node.BusAddr())
-	fmt.Println(node.Tree.Render())
+	fmt.Printf("mercuryd: station up; bus at %s\n", view.busAddr)
+	if view.pid != nil {
+		for _, comp := range view.comps {
+			if pid := view.pid(comp); pid != 0 {
+				fmt.Printf("  %-8s pid %d\n", comp, pid)
+			} else {
+				fmt.Printf("  %-8s (in supervisor)\n", comp)
+			}
+		}
+	}
+	fmt.Println(view.tree.Render())
+
+	if opts.obsAddr != "" {
+		srv, err := startObs(opts.obsAddr, view)
+		if err != nil {
+			return fmt.Errorf("obs listener: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("mercuryd: observability at http://%s (/metrics /healthz /tree)\n", srv.Addr())
+	}
 
 	// Join the bus as the control client so faultgen can reach us.
-	ctl, err := bus.DialBus(node.BusAddr(), "ctl", func(m *xmlcmd.Message) {
+	ctl, err := bus.DialBus(view.busAddr, "ctl", func(m *xmlcmd.Message) {
 		if m.Kind() != xmlcmd.KindCommand || m.Command.Name != "inject" {
 			return
 		}
@@ -173,7 +235,7 @@ func run(listen, tree string, scale float64, seed int64, duration time.Duration,
 			cure = strings.Split(cureStr, ",")
 		}
 		fmt.Printf("mercuryd: inject request from %s: kill %s (cure %v)\n", m.From, comp, cure)
-		if err := node.Inject(fault.Fault{Manifest: comp, Cure: cure}); err != nil {
+		if err := view.inject(fault.Fault{Manifest: comp, Cure: cure}); err != nil {
 			fmt.Println("mercuryd: inject failed:", err)
 		}
 	})
@@ -182,10 +244,10 @@ func run(listen, tree string, scale float64, seed int64, duration time.Duration,
 	}
 	defer ctl.Close()
 
-	if kill != "" {
-		time.AfterFunc(killAt, func() {
-			fmt.Printf("mercuryd: demo kill of %s\n", kill)
-			if err := node.Inject(fault.Fault{Manifest: kill}); err != nil {
+	if opts.kill != "" {
+		time.AfterFunc(opts.killAt, func() {
+			fmt.Printf("mercuryd: demo kill of %s\n", opts.kill)
+			if err := view.inject(fault.Fault{Manifest: opts.kill}); err != nil {
 				fmt.Println("mercuryd: demo kill failed:", err)
 			}
 		})
@@ -193,14 +255,17 @@ func run(listen, tree string, scale float64, seed int64, duration time.Duration,
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	if duration > 0 {
+	if opts.duration > 0 {
 		select {
-		case <-time.After(duration):
+		case <-time.After(opts.duration):
 		case <-sig:
 		}
 	} else {
 		<-sig
 	}
 	fmt.Println("mercuryd: shutting down")
+	fmt.Printf("mercuryd: summary: restarts=%d suspicions=%d reports=%d frames_in=%d frames_out=%d child_spawns=%d\n",
+		core.M.RECRestarts.Value(), core.M.FDSuspicions.Value(), core.M.FDReports.Value(),
+		bus.M.TCPFramesIn.Value(), bus.M.TCPFramesOut.Value(), mp.M.ChildSpawns.Value())
 	return nil
 }

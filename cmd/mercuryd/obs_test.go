@@ -1,0 +1,214 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/fault"
+	"github.com/recursive-restart/mercury/internal/rt"
+	"github.com/recursive-restart/mercury/internal/station"
+)
+
+// bootObs starts an in-process station with the observability listener on
+// an ephemeral port and returns the view, the base URL, and a teardown.
+func bootObs(t *testing.T, scale float64) (*stationView, string) {
+	t.Helper()
+	node, err := rt.StartNode(rt.NodeConfig{
+		ListenAddr: "127.0.0.1:0",
+		Scale:      scale,
+		TreeName:   "IV",
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatalf("StartNode: %v", err)
+	}
+	view := nodeView(node)
+	t.Cleanup(view.stop)
+	srv, err := startObs("127.0.0.1:0", view)
+	if err != nil {
+		t.Fatalf("startObs: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	return view, "http://" + srv.Addr()
+}
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return body
+}
+
+// TestObsScrapeDuringRecovery hammers all three endpoints concurrently
+// while a full kill→detect→restart→ready cycle runs. Under -race this
+// pins the contract that scrapes never race the dispatcher.
+func TestObsScrapeDuringRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live station test")
+	}
+	view, base := bootObs(t, 25)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, path := range []string{"/metrics", "/healthz", "/tree"} {
+		path := path
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(base + path)
+				if err != nil {
+					continue // listener may be mid-teardown at test end
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	if err := view.inject(fault.Fault{Manifest: station.RTU}); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var ok bool
+		view.disp.Call(func() {
+			ok = view.mgr.AllServing(view.comps...)
+		})
+		if ok {
+			var inc int
+			view.disp.Call(func() { inc, _ = view.mgr.Incarnation(station.RTU) })
+			if inc >= 2 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no recovery before deadline")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// After recovery the plane must reflect the cycle.
+	metrics := string(get(t, base+"/metrics"))
+	for _, want := range []string{
+		"mercury_fd_suspicions_total",
+		"mercury_rec_restarts_total",
+		"mercury_proc_startup_seconds_bucket",
+		"mercury_bus_tcp_frames_total{dir=\"in\"}",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	// FD's suspicion clears on its next successful probe of the restarted
+	// component, so /healthz may lag the ready event by up to one ping
+	// period: poll for the steady state.
+	var health healthReport
+	healthDeadline := time.Now().Add(30 * time.Second)
+	for {
+		if err := json.Unmarshal(get(t, base+"/healthz"), &health); err != nil {
+			t.Fatalf("healthz decode: %v", err)
+		}
+		if health.Status == "ok" || time.Now().After(healthDeadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if health.Status != "ok" {
+		t.Errorf("healthz status = %q after recovery, want ok", health.Status)
+	}
+	if hc := health.Components[station.RTU]; hc.Incarnation < 2 {
+		t.Errorf("rtu incarnation = %d, want >= 2", hc.Incarnation)
+	}
+}
+
+// TestObsTreeReport checks the /tree body structure against the booted
+// station: tree name, policy, and per-component state under the cells.
+func TestObsTreeReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live station test")
+	}
+	_, base := bootObs(t, 50)
+
+	var rep treeReportBody
+	if err := json.Unmarshal(get(t, base+"/tree"), &rep); err != nil {
+		t.Fatalf("tree decode: %v", err)
+	}
+	if rep.Tree != "IV" || rep.Policy != "escalating" || rep.Root == nil {
+		t.Fatalf("tree header = %q policy = %q root-nil=%v", rep.Tree, rep.Policy, rep.Root == nil)
+	}
+	// Every split-layout component must appear exactly once in the tree.
+	seen := map[string]int{}
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		for name, tc := range n.Components {
+			seen[name]++
+			if tc.State != "running" {
+				t.Errorf("component %s state = %q, want running", name, tc.State)
+			}
+			if tc.Incarnation < 1 || tc.LastStart == "" || tc.LastReady == "" {
+				t.Errorf("component %s missing lifecycle fields: %+v", name, tc)
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(rep.Root)
+	for _, comp := range []string{station.MBus, station.Fedr, station.Pbcom, station.RTU, station.SES, station.STR} {
+		if seen[comp] != 1 {
+			t.Errorf("component %s appears %d times in /tree, want 1", comp, seen[comp])
+		}
+	}
+}
+
+// TestObsMetricsContentType pins the Prometheus exposition content type
+// and that the build-info gauge carries the run's mode and tree labels.
+func TestObsMetricsContentType(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live station test")
+	}
+	_, base := bootObs(t, 50)
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	want := `mode="in-process",tree="IV"`
+	if !strings.Contains(string(body), want) {
+		t.Errorf("/metrics missing build-info labels %s", want)
+	}
+}
+
+// TestBuildVersion pins that -version always has something to print.
+func TestBuildVersion(t *testing.T) {
+	if v := buildVersion(); v == "" {
+		t.Fatal("buildVersion is empty")
+	}
+}

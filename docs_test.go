@@ -1,0 +1,58 @@
+package mercury_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links and images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks checks every intra-repo link in the top-level markdown
+// docs: a renamed or deleted file must not leave a dangling reference in
+// README/DESIGN/EXPERIMENTS/OPERATIONS. External URLs and pure anchors are
+// skipped (no network in tests); anchor suffixes on file links are
+// stripped before the existence check. CI runs this as its link check.
+func TestMarkdownLinks(t *testing.T) {
+	docs, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("no markdown docs found at repo root")
+	}
+	checked := 0
+	for _, doc := range docs {
+		body, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			path := filepath.Join(filepath.Dir(doc), filepath.FromSlash(target))
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("%s links to %q, which does not exist", doc, m[1])
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no intra-repo links found; the link check is vacuous")
+	}
+}

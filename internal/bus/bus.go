@@ -60,7 +60,15 @@ type Sim struct {
 	chaosDefault *ChaosProfile
 	chaosLinks   map[linkKey]*ChaosProfile
 
+	// chaosDrops counts chaos-layer discards per directed hop (see
+	// LinkDiscards). Plain map: mutated only on the dispatch context.
+	chaosDrops map[linkKey]uint64
+
 	stats Stats
+
+	// m mirrors stats into the process-wide obs counters through this
+	// fabric's private shards (see metrics.go).
+	m simCounters
 }
 
 var _ proc.Transport = (*Sim)(nil)
@@ -68,11 +76,13 @@ var _ proc.Transport = (*Sim)(nil)
 // NewSim builds a simulated bus routed through the named broker component.
 func NewSim(clk clock.Clock, mgr *proc.Manager, broker string) *Sim {
 	return &Sim{
-		clk:     clk,
-		mgr:     mgr,
-		broker:  broker,
-		Latency: 5 * time.Millisecond,
-		direct:  make(map[string]bool),
+		clk:        clk,
+		mgr:        mgr,
+		broker:     broker,
+		Latency:    5 * time.Millisecond,
+		direct:     make(map[string]bool),
+		chaosDrops: make(map[linkKey]uint64),
+		m:          newSimCounters(),
 	}
 }
 
@@ -90,6 +100,7 @@ func (b *Sim) Stats() Stats { return b.stats }
 // exactly like writing into a TCP connection whose peer has crashed.
 func (b *Sim) Send(m *xmlcmd.Message) {
 	b.stats.Sent++
+	b.m.sent.Inc()
 	if b.direct[m.From] && b.direct[m.To] {
 		b.stats.DirectSent++
 		b.sendHop(m, hopDeliver, m.From, m.To)
@@ -133,6 +144,7 @@ func (e *deliveryEvent) Fire() {
 		// starting up or dead loses the message.
 		if !b.mgr.Serving(b.broker) {
 			b.stats.DroppedBroker++
+			b.m.dropBroker.Inc()
 			b.release(e)
 			return
 		}
@@ -146,8 +158,10 @@ func (e *deliveryEvent) Fire() {
 	}
 	if b.mgr.Deliver(e.m) {
 		b.stats.Delivered++
+		b.m.delivered.Inc()
 	} else {
 		b.stats.DroppedDest++
+		b.m.dropDest.Inc()
 	}
 	b.release(e)
 }

@@ -109,10 +109,13 @@ func (b *Sim) sendHop(m *xmlcmd.Message, hop int, from, to string) {
 	if p.Dup > 0 && rng.Float64() < p.Dup {
 		copies = 2
 		b.stats.Duplicated++
+		b.m.dup.Inc()
 	}
 	for i := 0; i < copies; i++ {
 		if p.Loss > 0 && rng.Float64() < p.Loss {
 			b.stats.DroppedChaos++
+			b.m.dropChaos.Inc()
+			b.chaosDrops[linkKey{from, to}]++
 			continue
 		}
 		d := b.Latency

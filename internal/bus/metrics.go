@@ -1,0 +1,113 @@
+package bus
+
+import (
+	"sync/atomic"
+
+	"github.com/recursive-restart/mercury/internal/obs"
+)
+
+// BusMetrics aggregates the process-wide runtime counters for both bus
+// implementations: the simulated fabric (Sim* families) and the real TCP
+// broker/client (TCP* families). Counters are incremented unconditionally
+// — an increment is a single atomic add, cheaper than a configuration
+// branch — and only read when an obs registry renders them, so campaigns
+// and goldens are unaffected.
+type BusMetrics struct {
+	// Simulated fabric (bus.Sim).
+	SimFramesSent      obs.Counter // messages entering the fabric
+	SimFramesDelivered obs.Counter // messages handed to a live destination
+	SimDroppedBroker   obs.Counter // lost because mbus was not serving
+	SimDroppedDest     obs.Counter // lost because the destination was dead
+	SimDroppedChaos    obs.Counter // lost to the chaos layer's per-hop loss
+	SimDuplicated      obs.Counter // hops duplicated by the chaos layer
+
+	// TCP wire path (FrameReader/FrameWriter, broker, client).
+	TCPFramesIn      obs.Counter // frames read off connections
+	TCPFramesOut     obs.Counter // frames written to connections
+	TCPBytesIn       obs.Counter // wire bytes read (header + payload)
+	TCPBytesOut      obs.Counter // wire bytes written
+	TCPRouteDrops    obs.Counter // broker frames with no registered destination
+	TCPReconnects    obs.Counter // client reconnects after a broker outage
+	TCPSendDrops     obs.Counter // client sends lost (no live connection or write error)
+	TCPRegistrations obs.Counter // broker register frames accepted
+	TCPConnections   obs.Gauge   // broker connections currently registered
+}
+
+// M is the process-wide bus metrics instance. Hot call sites hold a
+// per-instance obs.CounterShard into these counters (one shard per Sim
+// fabric, per frame reader/writer) so concurrent writers do not contend.
+var M BusMetrics
+
+// shardSeq hands out shard indices to long-lived writers (fabrics,
+// connections) round-robin, spreading them across each counter's padded
+// cells.
+var shardSeq atomic.Uint64
+
+// nextShard returns the next writer's shard index.
+func nextShard() uint64 { return shardSeq.Add(1) }
+
+// RegisterMetrics registers the bus counter families with an obs
+// registry under the mercury_bus_* namespace.
+func RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("mercury_bus_sim_frames_sent_total",
+		"Messages entering the simulated fabric.", &M.SimFramesSent)
+	r.RegisterCounter("mercury_bus_sim_frames_delivered_total",
+		"Messages delivered to a live destination by the simulated fabric.", &M.SimFramesDelivered)
+	r.RegisterCounter("mercury_bus_sim_dropped_total",
+		"Messages lost in the simulated fabric, by cause.", &M.SimDroppedBroker, "cause", "broker-down")
+	r.RegisterCounter("mercury_bus_sim_dropped_total",
+		"Messages lost in the simulated fabric, by cause.", &M.SimDroppedDest, "cause", "dest-dead")
+	r.RegisterCounter("mercury_bus_sim_dropped_total",
+		"Messages lost in the simulated fabric, by cause.", &M.SimDroppedChaos, "cause", "chaos-loss")
+	r.RegisterCounter("mercury_bus_sim_duplicated_total",
+		"Hops duplicated by the chaos layer.", &M.SimDuplicated)
+
+	r.RegisterCounter("mercury_bus_tcp_frames_total",
+		"Wire frames moved over TCP, by direction.", &M.TCPFramesIn, "dir", "in")
+	r.RegisterCounter("mercury_bus_tcp_frames_total",
+		"Wire frames moved over TCP, by direction.", &M.TCPFramesOut, "dir", "out")
+	r.RegisterCounter("mercury_bus_tcp_bytes_total",
+		"Wire bytes moved over TCP (header + payload), by direction.", &M.TCPBytesIn, "dir", "in")
+	r.RegisterCounter("mercury_bus_tcp_bytes_total",
+		"Wire bytes moved over TCP (header + payload), by direction.", &M.TCPBytesOut, "dir", "out")
+	r.RegisterCounter("mercury_bus_tcp_route_drops_total",
+		"Broker frames dropped for lack of a registered destination.", &M.TCPRouteDrops)
+	r.RegisterCounter("mercury_bus_tcp_reconnects_total",
+		"Client reconnections after losing the broker.", &M.TCPReconnects)
+	r.RegisterCounter("mercury_bus_tcp_send_drops_total",
+		"Client sends lost: no live connection or a failed write.", &M.TCPSendDrops)
+	r.RegisterCounter("mercury_bus_tcp_registrations_total",
+		"Register frames accepted by the broker.", &M.TCPRegistrations)
+	r.RegisterGauge("mercury_bus_tcp_connections",
+		"Connections currently registered at the broker.", &M.TCPConnections)
+}
+
+// simCounters is one Sim instance's pre-resolved shard set: the fabric
+// increments through these pointers so parallel trials (one Sim per
+// worker) never share a counter cache line.
+type simCounters struct {
+	sent, delivered, dropBroker, dropDest, dropChaos, dup *obs.CounterShard
+}
+
+// newSimCounters picks one shard index for a fabric instance.
+func newSimCounters() simCounters {
+	i := nextShard()
+	return simCounters{
+		sent:       M.SimFramesSent.Shard(i),
+		delivered:  M.SimFramesDelivered.Shard(i),
+		dropBroker: M.SimDroppedBroker.Shard(i),
+		dropDest:   M.SimDroppedDest.Shard(i),
+		dropChaos:  M.SimDroppedChaos.Shard(i),
+		dup:        M.SimDuplicated.Shard(i),
+	}
+}
+
+// LinkDiscards reports the chaos layer's per-link frame discards for this
+// fabric as "from->to" keys. Dispatch-context only, like Stats.
+func (b *Sim) LinkDiscards() map[string]uint64 {
+	out := make(map[string]uint64, len(b.chaosDrops))
+	for k, n := range b.chaosDrops {
+		out[k.from+"->"+k.to] = n
+	}
+	return out
+}

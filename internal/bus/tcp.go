@@ -38,6 +38,7 @@ var (
 // serialise (the broker under its lock, the client under sendMu).
 type FrameWriter struct {
 	buf []byte
+	sh  uint64 // metrics shard index; 0 = not yet assigned
 }
 
 // WriteFrame encodes m and writes it to w as one length-prefixed frame.
@@ -52,6 +53,13 @@ func (fw *FrameWriter) WriteFrame(w io.Writer, m *xmlcmd.Message) error {
 	fw.buf = buf
 	binary.BigEndian.PutUint32(buf[:frameHeader], uint32(len(buf)-frameHeader))
 	_, err = w.Write(buf)
+	if err == nil {
+		if fw.sh == 0 {
+			fw.sh = nextShard()
+		}
+		M.TCPFramesOut.Shard(fw.sh).Inc()
+		M.TCPBytesOut.Shard(fw.sh).Add(uint64(len(buf)))
+	}
 	return err
 }
 
@@ -63,6 +71,7 @@ func (fw *FrameWriter) WriteFrame(w io.Writer, m *xmlcmd.Message) error {
 type FrameReader struct {
 	hdr     [frameHeader]byte
 	payload []byte
+	sh      uint64 // metrics shard index; 0 = not yet assigned
 }
 
 // ReadFrameInto reads one frame and decodes it into m, reusing both the
@@ -85,6 +94,11 @@ func (fr *FrameReader) ReadFrameInto(r io.Reader, m *xmlcmd.Message) error {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return err
 	}
+	if fr.sh == 0 {
+		fr.sh = nextShard()
+	}
+	M.TCPFramesIn.Shard(fr.sh).Inc()
+	M.TCPBytesIn.Shard(fr.sh).Add(uint64(frameHeader) + uint64(n))
 	return xmlcmd.DecodeInto(payload, m)
 }
 
@@ -213,6 +227,8 @@ func (b *TCPBroker) serve(conn net.Conn) {
 		_ = old.conn.Close() // a reconnecting client replaces its old session
 	}
 	b.conns[name] = &brokerConn{conn: conn}
+	M.TCPRegistrations.Inc()
+	M.TCPConnections.Set(int64(len(b.conns)))
 	b.mu.Unlock()
 
 	var m xmlcmd.Message
@@ -226,6 +242,7 @@ func (b *TCPBroker) serve(conn net.Conn) {
 	b.mu.Lock()
 	if bc, ok := b.conns[name]; ok && bc.conn == conn {
 		delete(b.conns, name)
+		M.TCPConnections.Set(int64(len(b.conns)))
 	}
 	b.mu.Unlock()
 	_ = conn.Close()
@@ -241,6 +258,8 @@ func (b *TCPBroker) route(m *xmlcmd.Message) {
 	defer b.mu.Unlock()
 	if bc, ok := b.conns[m.To]; ok {
 		_ = bc.fw.WriteFrame(bc.conn, m)
+	} else {
+		M.TCPRouteDrops.Inc()
 	}
 }
 
@@ -333,12 +352,14 @@ func (c *TCPClient) Send(m *xmlcmd.Message) {
 	conn := c.conn
 	c.mu.Unlock()
 	if conn == nil {
+		M.TCPSendDrops.Inc()
 		return
 	}
 	c.sendMu.Lock()
 	err := c.fw.WriteFrame(conn, m)
 	c.sendMu.Unlock()
 	if err != nil {
+		M.TCPSendDrops.Inc()
 		_ = conn.Close()
 	}
 }
@@ -397,7 +418,9 @@ func (c *TCPClient) readLoop() {
 		if closed {
 			return
 		}
-		_ = c.connect() // failure leaves conn nil; loop retries
+		if c.connect() == nil { // failure leaves conn nil; loop retries
+			M.TCPReconnects.Inc()
+		}
 	}
 }
 

@@ -83,26 +83,65 @@ type targetState struct {
 	suspected    bool
 	lastReportAt time.Time
 	everReported bool
+	sentAt       time.Time // when the outstanding probe was sent
+	firstMissAt  time.Time // send time of the miss streak's first probe
 }
 
 // NewFD returns a factory for FD handlers. targets are the monitored
 // components (including the broker); broker names the message bus;
 // restartREC performs the special-case REC recovery.
 func NewFD(p FDParams, targets []string, broker string, restartREC func()) func() proc.Handler {
-	return func() proc.Handler {
+	factory, _ := NewFDWithHandle(p, targets, broker, restartREC)
+	return factory
+}
+
+// fdShared tracks the live FD incarnation so a handle can reach it across
+// restarts (the same current-pointer pattern RECHandle uses).
+type fdShared struct {
+	targets []string
+	current *FD
+}
+
+// FDHandle exposes the live failure detector's view to the host (tests,
+// the ops endpoints). FD state belongs to the dispatch context: callers
+// off that context must wrap every accessor in rt.Dispatcher.Call.
+type FDHandle struct {
+	shared *fdShared
+}
+
+// Targets returns the monitored component names.
+func (h *FDHandle) Targets() []string {
+	return append([]string(nil), h.shared.targets...)
+}
+
+// Suspected reports the live incarnation's suspicion for a target; false
+// while FD is restarting.
+func (h *FDHandle) Suspected(target string) bool {
+	if h.shared.current == nil {
+		return false
+	}
+	return h.shared.current.Suspected(target)
+}
+
+// NewFDWithHandle is NewFD plus a handle onto the live incarnation.
+func NewFDWithHandle(p FDParams, targets []string, broker string, restartREC func()) (func() proc.Handler, *FDHandle) {
+	shared := &fdShared{targets: append([]string(nil), targets...)}
+	factory := func() proc.Handler {
 		fd := &FD{
 			params:           p,
-			targets:          append([]string(nil), targets...),
+			targets:          append([]string(nil), shared.targets...),
 			broker:           broker,
 			restartREC:       restartREC,
-			targetSt:         make(map[string]*targetState, len(targets)),
+			targetSt:         make(map[string]*targetState, len(shared.targets)),
 			lastSuspectRelay: make(map[string]time.Time),
 		}
-		for _, t := range targets {
+		for _, t := range shared.targets {
 			fd.targetSt[t] = &targetState{}
 		}
+		shared.current = fd
 		return fd
 	}
+	return factory, &FDHandle{shared: shared}
 }
 
 // Start implements proc.Handler.
@@ -128,7 +167,9 @@ func (fd *FD) pingLoop(ctx proc.Context, target string) {
 	fd.nonce++
 	nonce := fd.nonce
 	st.outstanding = nonce
+	st.sentAt = ctx.Now()
 	fd.seq++
+	M.FDPingsSent.Inc()
 	ctx.Send(xmlcmd.NewPing(xmlcmd.AddrFD, target, fd.seq, nonce))
 	ctx.After(fd.params.PingTimeout, func() {
 		if st.outstanding == nonce {
@@ -136,6 +177,10 @@ func (fd *FD) pingLoop(ctx proc.Context, target string) {
 			// lost a frame.
 			st.outstanding = 0
 			st.missed++
+			M.FDPongsMissed.Inc()
+			if st.missed == 1 {
+				st.firstMissAt = st.sentAt
+			}
 			// The K-miss threshold applies to every suspicion, not just the
 			// first: a sticky suspected flag would turn one unlucky probe
 			// into a hair-trigger detector for the rest of the target's life.
@@ -171,6 +216,11 @@ func (fd *FD) suspectAfter() int {
 func (fd *FD) suspect(ctx proc.Context, target string) {
 	st := fd.targetSt[target]
 	st.suspected = true
+	M.FDSuspicions.Inc()
+	if !st.firstMissAt.IsZero() {
+		M.FDDetect.Observe(ctx.Now().Sub(st.firstMissAt))
+		st.firstMissAt = time.Time{}
+	}
 	if target == fd.broker {
 		fd.report(ctx, target)
 		return
@@ -193,6 +243,8 @@ func (fd *FD) verifyBroker(ctx proc.Context, target string, attempt int) {
 	probeAt := ctx.Now()
 	fd.nonce++
 	fd.seq++
+	M.FDPingsSent.Inc()
+	M.FDVerifications.Inc()
 	ctx.Send(xmlcmd.NewPing(xmlcmd.AddrFD, fd.broker, fd.seq, fd.nonce))
 	ctx.After(fd.params.PingTimeout, func() {
 		if !st.suspected {
@@ -227,6 +279,7 @@ func (fd *FD) report(ctx proc.Context, target string) {
 	}
 	st.lastReportAt = now
 	st.everReported = true
+	M.FDReports.Inc()
 	ctx.Log().Add(now, trace.FailureDetected, target, "", "reported to rec")
 	fd.seq++
 	ctx.Send(xmlcmd.NewEvent(xmlcmd.AddrFD, xmlcmd.AddrREC, fd.seq, "failure", target))
@@ -241,12 +294,15 @@ func (fd *FD) recLoop(ctx proc.Context) {
 	nonce := fd.nonce
 	fd.recNonce = nonce
 	fd.seq++
+	M.FDPingsSent.Inc()
 	ctx.Send(xmlcmd.NewPing(xmlcmd.AddrFD, xmlcmd.AddrREC, fd.seq, nonce))
 	ctx.After(fd.params.PingTimeout, func() {
 		if fd.recNonce == nonce {
 			fd.recMissed++
+			M.FDPongsMissed.Inc()
 			if fd.recMissed >= fd.params.RECFailAfter {
 				fd.recMissed = 0
+				M.FDRECRecoveries.Inc()
 				ctx.Log().Add(ctx.Now(), trace.FailureDetected, xmlcmd.AddrREC, "",
 					"fd initiating rec recovery")
 				if fd.restartREC != nil {
@@ -266,6 +322,7 @@ func (fd *FD) Receive(ctx proc.Context, m *xmlcmd.Message) {
 			if m.Pong.Nonce == fd.recNonce {
 				fd.recNonce = 0
 				fd.recMissed = 0
+				M.FDPongs.Inc()
 			}
 			return
 		}
@@ -284,6 +341,9 @@ func (fd *FD) Receive(ctx proc.Context, m *xmlcmd.Message) {
 			st.outstanding = 0
 			st.suspected = false
 			st.missed = 0
+			st.firstMissAt = time.Time{}
+			M.FDPongs.Inc()
+			M.FDRTT.Observe(ctx.Now().Sub(st.sentAt))
 		}
 	case xmlcmd.KindPing:
 		// REC liveness-pings FD over the dedicated link.

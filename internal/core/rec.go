@@ -89,7 +89,8 @@ type episode struct {
 	awaitingVerdict bool      // restart completed; watching for persistence
 	lastReadyAt     time.Time // when the restart action finished
 	pendingReady    map[string]bool
-	observed        bool // outcome already reported to a learning oracle
+	observed        bool      // outcome already reported to a learning oracle
+	startedAt       time.Time // when the current attempt's report arrived
 }
 
 // REC is the recoverer: it owns the restart tree and the oracle, receives
@@ -276,6 +277,7 @@ func (r *REC) onFailureReport(ctx proc.Context, component string) {
 	r.history[component] = kept
 	if len(kept) >= r.params.MaxRestarts {
 		r.abandoned[component] = true
+		M.RECGiveUps.Inc()
 		ctx.Log().Add(now, trace.GiveUp, component, "",
 			fmt.Sprintf("restart budget exhausted (%d in %v)", len(kept), r.params.BudgetWindow))
 		return
@@ -287,6 +289,7 @@ func (r *REC) onFailureReport(ctx proc.Context, component string) {
 	if ep != nil && ep.awaitingVerdict && now.Sub(ep.lastReadyAt) <= r.params.PersistWindow {
 		ep.attempt++
 		ep.awaitingVerdict = false
+		M.RECEscalations.Inc()
 		r.observe(component, ep.prev, false)
 	} else {
 		if ep != nil && ep.awaitingVerdict && !ep.observed {
@@ -297,6 +300,7 @@ func (r *REC) onFailureReport(ctx proc.Context, component string) {
 		ep = &episode{attempt: 1}
 		r.episodes[component] = ep
 	}
+	ep.startedAt = now
 
 	node, err := r.oracle.Choose(r.tree, component, ep.prev, ep.attempt)
 	if err != nil {
@@ -310,6 +314,7 @@ func (r *REC) onFailureReport(ctx proc.Context, component string) {
 	delay := r.params.DecisionDelay
 	if bo := r.restartBackoff(len(kept)); bo > 0 {
 		delay += bo
+		M.RECBackoffWaits.Inc()
 		ctx.Log().Add(now, trace.Note, component, node.Label(),
 			fmt.Sprintf("restart backoff %v (%d recent restarts)", bo, len(kept)))
 	}
@@ -321,6 +326,8 @@ func (r *REC) onFailureReport(ctx proc.Context, component string) {
 		for _, c := range set {
 			ep.pendingReady[c] = true
 		}
+		M.RECRestarts.Inc()
+		M.RECRestartsByNode.With(node.Label()).Inc()
 		proc, detail := r.procedureFor(set)
 		ctx.Log().Add(ctx.Now(), trace.RestartRequested, component, node.Label(), detail)
 		if err := proc.Execute(set); err != nil {
@@ -378,6 +385,9 @@ func (r *REC) onReady(name string) {
 			ep.pendingReady = nil
 			ep.awaitingVerdict = true
 			ep.lastReadyAt = r.mgr.Clock().Now()
+			if !ep.startedAt.IsZero() {
+				M.RECRecovery.Observe(ep.lastReadyAt.Sub(ep.startedAt))
+			}
 			delete(r.inFlight, comp)
 			r.scheduleVerdict(comp, ep)
 		}
@@ -452,14 +462,17 @@ func (r *REC) onSuspect(ctx proc.Context, component string) {
 	}
 	r.lastRejuv[component] = now
 	r.inFlight[component] = true
+	M.RECRejuvenations.Inc()
 	ctx.Log().Add(now, trace.Note, component, node.Label(), "proactive rejuvenation restart")
 	ctx.After(r.params.DecisionDelay, func() {
 		set := node.Subtree()
-		ep := &episode{attempt: 1, prev: node, pendingReady: make(map[string]bool, len(set))}
+		ep := &episode{attempt: 1, prev: node, pendingReady: make(map[string]bool, len(set)), startedAt: now}
 		for _, c := range set {
 			ep.pendingReady[c] = true
 		}
 		r.episodes[component] = ep
+		M.RECRestarts.Inc()
+		M.RECRestartsByNode.With(node.Label()).Inc()
 		ctx.Log().Add(ctx.Now(), trace.RestartRequested, component, node.Label(),
 			"rejuvenation restart of ["+strings.Join(set, " ")+"]")
 		if err := r.mgr.Restart(set); err != nil {
@@ -483,6 +496,7 @@ func (r *REC) fdLoop(ctx proc.Context) {
 			r.fdMissed++
 			if r.fdMissed >= r.params.FDFailAfter {
 				r.fdMissed = 0
+				M.RECFDRecoveries.Inc()
 				ctx.Log().Add(ctx.Now(), trace.FailureDetected, xmlcmd.AddrFD, "",
 					"rec initiating fd recovery")
 				if r.restartFD != nil {

@@ -1,0 +1,32 @@
+package mp
+
+import (
+	"github.com/recursive-restart/mercury/internal/obs"
+)
+
+// MPMetrics aggregates the supervisor's child-process lifecycle counters:
+// real OS processes spawned, SIGKILLed by restart actions, and reaped.
+// Increments happen on the supervisor's I/O goroutines, so these use the
+// plain (shard-0) counter path — child churn is far too slow to contend.
+type MPMetrics struct {
+	ChildSpawns   obs.Counter // component child processes started
+	SpawnFailures obs.Counter // spawn attempts that failed before running
+	ChildKills    obs.Counter // children SIGKILLed by a restart action or teardown
+	ChildExits    obs.Counter // child processes reaped (any cause)
+}
+
+// M is the process-wide multi-process metrics instance.
+var M MPMetrics
+
+// RegisterMetrics registers the child-process families with an obs
+// registry under the mercury_mp_* namespace.
+func RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("mercury_mp_child_spawns_total",
+		"Component child processes started.", &M.ChildSpawns)
+	r.RegisterCounter("mercury_mp_spawn_failures_total",
+		"Child spawn attempts that failed before the process ran.", &M.SpawnFailures)
+	r.RegisterCounter("mercury_mp_child_kills_total",
+		"Children SIGKILLed by restart actions or teardown.", &M.ChildKills)
+	r.RegisterCounter("mercury_mp_child_exits_total",
+		"Child processes reaped, any cause.", &M.ChildExits)
+}

@@ -72,6 +72,8 @@ type Supervisor struct {
 	Board *fault.Board
 	Log   *trace.Log
 	Tree  *core.Tree
+	FD    *core.FDHandle
+	REC   *core.RECHandle
 
 	cfg      SupervisorConfig
 	layout   station.Layout
@@ -139,19 +141,23 @@ func (h *proxyHandler) Receive(proc.Context, *xmlcmd.Message) {
 func (s *Supervisor) spawnChild(spec ChildConfig, ctx proc.Context) {
 	cmd, err := s.spawn(spec)
 	if err != nil {
+		M.SpawnFailures.Inc()
 		s.Disp.Post(func() { ctx.Fail("spawn: " + err.Error()) })
 		return
 	}
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
+		M.SpawnFailures.Inc()
 		s.Disp.Post(func() { ctx.Fail("stdout pipe: " + err.Error()) })
 		return
 	}
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
+		M.SpawnFailures.Inc()
 		s.Disp.Post(func() { ctx.Fail("start child: " + err.Error()) })
 		return
 	}
+	M.ChildSpawns.Inc()
 
 	s.mu.Lock()
 	if s.stopped {
@@ -177,6 +183,7 @@ func (s *Supervisor) spawnChild(spec ChildConfig, ctx proc.Context) {
 	// Reap the child; an unexpected exit is a component failure.
 	go func() {
 		_ = cmd.Wait()
+		M.ChildExits.Inc()
 		s.Disp.Post(func() {
 			s.mu.Lock()
 			cur := s.children[spec.Component]
@@ -202,6 +209,7 @@ func (s *Supervisor) killChild(component string) {
 	delete(s.children, component)
 	s.mu.Unlock()
 	if c != nil && c.cmd.Process != nil {
+		M.ChildKills.Inc()
 		_ = c.cmd.Process.Kill()
 	}
 }
@@ -308,11 +316,14 @@ func StartSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	if cfg.RECParams != nil {
 		recParams = *cfg.RECParams
 	}
-	recFactory, _ := core.NewREC(recParams, tree, oracle, mgr, restartFD)
+	recFactory, recHandle := core.NewREC(recParams, tree, oracle, mgr, restartFD)
+	s.REC = recHandle
 	if err := mgr.Register(xmlcmd.AddrREC, recFactory); err != nil {
 		return nil, err
 	}
-	if err := mgr.Register(xmlcmd.AddrFD, core.NewFD(rt.FDParamsForScale(cfg.Scale), comps, station.MBus, restartREC)); err != nil {
+	fdFactory, fdHandle := core.NewFDWithHandle(rt.FDParamsForScale(cfg.Scale), comps, station.MBus, restartREC)
+	s.FD = fdHandle
+	if err := mgr.Register(xmlcmd.AddrFD, fdFactory); err != nil {
 		return nil, err
 	}
 

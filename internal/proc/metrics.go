@@ -1,0 +1,32 @@
+package proc
+
+import (
+	"github.com/recursive-restart/mercury/internal/obs"
+)
+
+// ProcMetrics aggregates the process-wide lifecycle counters for managed
+// components: every incarnation launched, every death (kills, crashes,
+// restart-action teardowns), and the startup-time distribution that
+// dominates recovery time. Increments happen on the dispatch context;
+// reads only happen when an obs registry renders them.
+type ProcMetrics struct {
+	Starts  obs.Counter    // incarnations launched (first starts + restarts)
+	Deaths  obs.Counter    // incarnations terminated (kill, crash, restart teardown)
+	Startup *obs.Histogram // start to functionally-ready per incarnation
+}
+
+// M is the process-wide lifecycle metrics instance.
+var M = ProcMetrics{
+	Startup: obs.NewHistogram(obs.DefBuckets()...),
+}
+
+// RegisterMetrics registers the lifecycle families with an obs registry
+// under the mercury_proc_* namespace.
+func RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("mercury_proc_starts_total",
+		"Component incarnations launched.", &M.Starts)
+	r.RegisterCounter("mercury_proc_deaths_total",
+		"Component incarnations terminated (kill, crash or restart teardown).", &M.Deaths)
+	r.RegisterHistogram("mercury_proc_startup_seconds",
+		"Component start to functionally-ready.", M.Startup)
+}

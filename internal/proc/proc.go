@@ -387,6 +387,26 @@ func (m *Manager) Restarts(name string) (int, error) {
 	return p.restarts, nil
 }
 
+// StartedAt reports when the process's current incarnation was launched
+// (zero if never started).
+func (m *Manager) StartedAt(name string) (time.Time, error) {
+	p, err := m.proc(name)
+	if err != nil {
+		return time.Time{}, err
+	}
+	return p.startedAt, nil
+}
+
+// ReadyAt reports when the process last became functionally ready (zero if
+// never ready).
+func (m *Manager) ReadyAt(name string) (time.Time, error) {
+	p, err := m.proc(name)
+	if err != nil {
+		return time.Time{}, err
+	}
+	return p.readyAt, nil
+}
+
 // Downtime reports the cumulative time the process has spent not serving
 // since its first launch (including time spent silenced or restarting).
 func (m *Manager) Downtime(name string) (time.Duration, error) {
@@ -407,6 +427,7 @@ func (p *Process) start(stretch float64) {
 	if p.everStarted {
 		p.restarts++
 	}
+	M.Starts.Inc()
 	p.state = Starting
 	p.silenced = false
 	p.stretch = stretch
@@ -425,6 +446,7 @@ func (p *Process) start(stretch float64) {
 func (p *Process) die(kind trace.Kind, reason string) {
 	p.markDown()
 	p.state = Dead
+	M.Deaths.Inc()
 	p.handler = nil
 	p.downAt = p.mgr.clk.Now()
 	p.mgr.log.Add(p.downAt, kind, p.name, "", reason)
@@ -489,6 +511,7 @@ func (c *procCtx) Ready() {
 		p.downtime += now.Sub(p.lastDownAt)
 	}
 	p.everStarted = true
+	M.Startup.Observe(now.Sub(p.startedAt))
 	p.mgr.log.Add(now, trace.ComponentReady, p.name, "",
 		fmt.Sprintf("incarnation=%d startup=%.2fs", p.gen, now.Sub(p.startedAt).Seconds()))
 	for _, fn := range p.mgr.onReady {

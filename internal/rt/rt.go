@@ -213,14 +213,28 @@ type Node struct {
 	Board *fault.Board
 	Log   *trace.Log
 	Tree  *core.Tree
+	// FD and REC reach the live detector/recoverer incarnations (for the
+	// ops endpoints). Their accessors touch dispatcher-owned state: wrap
+	// every use in Disp.Call.
+	FD  *core.FDHandle
+	REC *core.RECHandle
 
 	cfg     NodeConfig
 	scale   float64
+	comps   []string
 	clients map[string]*bus.TCPClient
 	broker  *BrokerControl
 	mu      sync.Mutex
 	stopped bool
 }
+
+// Components returns the station component list (excluding FD/REC).
+func (n *Node) Components() []string {
+	return append([]string(nil), n.comps...)
+}
+
+// TreeName returns the configured restart-tree name.
+func (n *Node) TreeName() string { return n.cfg.TreeName }
 
 // BrokerControl ties the mbus process lifecycle to the real TCP broker:
 // while the process is down the listener is closed and frames are lost.
@@ -388,13 +402,17 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 			_ = mgr.Restart([]string{xmlcmd.AddrREC})
 		}
 	}
-	recFactory, _ := core.NewREC(RECParamsForScale(cfg.Scale), tree, oracle, mgr, restartFD)
+	recFactory, recHandle := core.NewREC(RECParamsForScale(cfg.Scale), tree, oracle, mgr, restartFD)
+	node.REC = recHandle
 	if err := mgr.Register(xmlcmd.AddrREC, recFactory); err != nil {
 		return nil, err
 	}
-	if err := mgr.Register(xmlcmd.AddrFD, core.NewFD(FDParamsForScale(cfg.Scale), comps, station.MBus, restartREC)); err != nil {
+	fdFactory, fdHandle := core.NewFDWithHandle(FDParamsForScale(cfg.Scale), comps, station.MBus, restartREC)
+	node.FD = fdHandle
+	if err := mgr.Register(xmlcmd.AddrFD, fdFactory); err != nil {
 		return nil, err
 	}
+	node.comps = append([]string(nil), comps...)
 
 	// Open bus clients for every component (FD included; REC uses only the
 	// dedicated link).

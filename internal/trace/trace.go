@@ -3,6 +3,11 @@
 // the instant a failure occurs (the SIGKILL, not its detection) until the
 // component logs a timestamped "functionally ready" message; this package
 // is that log.
+//
+// Trace is one of two event planes: it captures the full causal sequence
+// of a run (per-event, subscribable, what experiments and the mercuryd
+// live stream consume), while internal/obs keeps aggregate runtime
+// counters and histograms for scraping. The two never feed each other.
 package trace
 
 import (
