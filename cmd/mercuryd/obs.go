@@ -12,6 +12,7 @@ import (
 	"github.com/recursive-restart/mercury/internal/mp"
 	"github.com/recursive-restart/mercury/internal/obs"
 	"github.com/recursive-restart/mercury/internal/proc"
+	"github.com/recursive-restart/mercury/internal/sim"
 	"github.com/recursive-restart/mercury/internal/xmlcmd"
 )
 
@@ -59,6 +60,7 @@ func startObs(addr string, view *stationView) (*obsServer, error) {
 	core.RegisterMetrics(reg)
 	proc.RegisterMetrics(reg)
 	mp.RegisterMetrics(reg)
+	sim.RegisterMetrics(reg)
 	start := time.Now()
 	reg.RegisterGaugeFunc("mercury_uptime_seconds",
 		"Wall-clock seconds since the observability listener started.",

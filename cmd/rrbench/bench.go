@@ -19,7 +19,9 @@ import (
 	"github.com/recursive-restart/mercury/internal/sim"
 )
 
-// perfRecord is one measured workload.
+// perfRecord is one measured workload. The fleet-scaling fields
+// (stations, cores, speedup, scaling efficiency) are present only on
+// `rrbench fleet -bench` records; older records simply omit them.
 type perfRecord struct {
 	Name           string  `json:"name"`
 	Trials         int     `json:"trials,omitempty"`
@@ -29,6 +31,12 @@ type perfRecord struct {
 	NsPerEvent     float64 `json:"ns_per_event"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`
+
+	Stations          int     `json:"stations,omitempty"`
+	Shards            int     `json:"shards,omitempty"`
+	Cores             int     `json:"cores,omitempty"`
+	Speedup           float64 `json:"speedup,omitempty"`
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
 }
 
 // perfRun is one rrbench -bench invocation.

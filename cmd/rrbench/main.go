@@ -14,6 +14,9 @@
 //	rrbench chaos -loss 0.1 -trees IV -json   # one lossy cell, machine-readable
 //	rrbench wire                 # wire-path codec + TCP framing benchmarks
 //	rrbench wire -bench -benchlabel after     # append the records to BENCH_RESULTS.json
+//	rrbench fleet -stations 1000              # sharded constellation campaign
+//	rrbench fleet -verify -stations 12 -cores 4   # byte-identity across core counts
+//	rrbench fleet -bench -stations 1000       # cores-scaling sweep → BENCH_RESULTS.json
 //
 // Trials fan out across a worker pool (-parallel, default one worker per
 // CPU); results are folded in seed order, so every measured number is
@@ -55,6 +58,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "wire" {
 		if err := runWire(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "rrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		if err := runFleet(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "rrbench:", err)
 			os.Exit(1)
 		}

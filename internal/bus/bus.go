@@ -29,6 +29,7 @@ type Stats struct {
 	DirectSent    int // messages on dedicated links
 	DroppedChaos  int // lost to the chaos layer's per-hop loss
 	Duplicated    int // hops duplicated by the chaos layer
+	CrossSent     int // messages handed to the cross-shard link
 }
 
 // Sim is the simulated message fabric. Messages between ordinary
@@ -54,6 +55,11 @@ type Sim struct {
 	// pool recycles delivery events so steady-state routing allocates
 	// nothing: each in-flight message holds one event through both hops.
 	pool []*deliveryEvent
+
+	// xlink, when installed, intercepts messages addressed to other
+	// stations and queues them for the fleet's epoch exchange (see
+	// crosslink.go). Nil for a standalone station.
+	xlink *CrossLink
 
 	// chaosDefault/chaosLinks model a degraded fabric (see chaos.go);
 	// both nil means the historical perfect fabric.
@@ -101,6 +107,11 @@ func (b *Sim) Stats() Stats { return b.stats }
 func (b *Sim) Send(m *xmlcmd.Message) {
 	b.stats.Sent++
 	b.m.sent.Inc()
+	if b.xlink != nil && b.xlink.offer(m) {
+		b.stats.CrossSent++
+		b.m.crossSent.Inc()
+		return
+	}
 	if b.direct[m.From] && b.direct[m.To] {
 		b.stats.DirectSent++
 		b.sendHop(m, hopDeliver, m.From, m.To)

@@ -1,0 +1,101 @@
+package bus
+
+import (
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/clock"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// This file is the bus's cross-shard seam for the fleet simulator. A
+// station's fabric handles all local traffic exactly as before; a message
+// whose To address names another station is intercepted at the top of
+// Send and pushed onto a serialized hand-off queue instead of being
+// scheduled locally. Between epochs the fleet coordinator drains each
+// queue in shard-index order and re-injects the messages on the
+// destination shard's fabric after the inter-station link latency — which
+// must be at least one epoch long for the fleet's conservative-lookahead
+// protocol to hold (see internal/sim/fleet.go).
+
+// Handoff is one intercepted cross-shard message, stamped with the send
+// instant and a per-link sequence number so the exchange order is fully
+// determined by (source shard, Seq).
+type Handoff struct {
+	// Msg is the intercepted message, its To rewritten to the address
+	// local to the destination station.
+	Msg *xmlcmd.Message
+	// Station is the destination station index.
+	Station int
+	// SentAt is the virtual send instant on the source shard.
+	SentAt time.Time
+	// Seq orders hand-offs from this link.
+	Seq uint64
+}
+
+// CrossLink intercepts and queues a fabric's outbound inter-station
+// traffic. Like the Sim it plugs into, it is dispatch-context only: offer
+// runs inside Send on the shard's kernel, Drain runs on the coordinator
+// between epochs (the fleet barrier orders the two).
+type CrossLink struct {
+	clk clock.Clock
+	// resolve maps a message address to (destination station, local
+	// address). ok=false means the address is local to this fabric and the
+	// message is not intercepted.
+	resolve func(addr string) (station int, local string, ok bool)
+	queue   []Handoff
+	seq     uint64
+}
+
+// NewCrossLink builds a cross-link using resolve to classify addresses.
+func NewCrossLink(clk clock.Clock, resolve func(addr string) (station int, local string, ok bool)) *CrossLink {
+	return &CrossLink{clk: clk, resolve: resolve}
+}
+
+// offer intercepts m if it is addressed to another station, queueing it
+// for the next epoch exchange. Reports whether the message was taken.
+func (x *CrossLink) offer(m *xmlcmd.Message) bool {
+	station, local, ok := x.resolve(m.To)
+	if !ok {
+		return false
+	}
+	m.To = local
+	x.seq++
+	x.queue = append(x.queue, Handoff{
+		Msg:     m,
+		Station: station,
+		SentAt:  x.clk.Now(),
+		Seq:     x.seq,
+	})
+	return true
+}
+
+// Drain appends the queued hand-offs to dst in send order and empties the
+// queue. Coordinator-context only.
+func (x *CrossLink) Drain(dst []Handoff) []Handoff {
+	dst = append(dst, x.queue...)
+	x.queue = x.queue[:0]
+	return dst
+}
+
+// Pending reports the queued hand-off count.
+func (x *CrossLink) Pending() int { return len(x.queue) }
+
+// SetCrossLink installs (or, with nil, removes) the fabric's cross-shard
+// interceptor. Installed, it sees every Send first; messages it takes are
+// counted as CrossSent and never touch the local broker.
+func (b *Sim) SetCrossLink(x *CrossLink) { b.xlink = x }
+
+// DeliverLocal hands an inbound cross-shard message to this fabric's
+// manager directly, bypassing the local broker: the inter-station link is
+// its own transport and its latency was already paid by the fleet's
+// delivery schedule. Dispatch-context only — the fleet injects via the
+// destination kernel, so this runs on that shard's event loop.
+func (b *Sim) DeliverLocal(m *xmlcmd.Message) {
+	if b.mgr.Deliver(m) {
+		b.stats.Delivered++
+		b.m.delivered.Inc()
+	} else {
+		b.stats.DroppedDest++
+		b.m.dropDest.Inc()
+	}
+}

@@ -135,9 +135,20 @@ func RunCell(c Cell, trials int, baseSeed int64) (*metrics.Sample, error) {
 // RunCellCfg measures one cell under an explicit run configuration,
 // fanning trials across the runner's worker pool.
 func RunCellCfg(ctx context.Context, c Cell, rc RunConfig) (*metrics.Sample, error) {
+	return runCellWith(ctx, c, rc, Cell.Measure)
+}
+
+// measureFunc is one trial of a cell under some execution engine: the
+// direct single-kernel path (Cell.Measure) or the 1-shard fleet bridge
+// (see fleetbridge.go). Injecting the engine lets the byte-identity tests
+// drive the same campaign grids through both.
+type measureFunc func(c Cell, seed int64) (time.Duration, error)
+
+// runCellWith measures one cell with an explicit trial engine.
+func runCellWith(ctx context.Context, c Cell, rc RunConfig, measure measureFunc) (*metrics.Sample, error) {
 	return runner.RunSample(ctx, rc.runnerConfig(runner.DefaultStride), rc.Trials,
 		func(_ context.Context, i int, seed int64) (time.Duration, error) {
-			d, err := c.Measure(seed)
+			d, err := measure(c, seed)
 			if err != nil {
 				return 0, fmt.Errorf("cell %s/%s trial %d: %w", c.Label(), c.Component, i, err)
 			}
@@ -202,6 +213,16 @@ func measureRows(ctx context.Context, specs []struct {
 	Policy  mercury.Policy
 	FaultyP float64
 }, rc RunConfig) ([]Row, error) {
+	return measureRowsWith(ctx, specs, rc, Cell.Measure)
+}
+
+// measureRowsWith measures table rows under an explicit trial engine.
+func measureRowsWith(ctx context.Context, specs []struct {
+	Label   string
+	Tree    string
+	Policy  mercury.Policy
+	FaultyP float64
+}, rc RunConfig, measure measureFunc) ([]Row, error) {
 	var rows []Row
 	for _, spec := range specs {
 		row := Row{Label: spec.Label, Cells: make(map[string]*metrics.Sample)}
@@ -213,7 +234,7 @@ func measureRows(ctx context.Context, specs []struct {
 				Component: comp,
 				Cure:      cureForCell(spec.Label, comp),
 			}
-			s, err := RunCellCfg(ctx, cell, rc)
+			s, err := runCellWith(ctx, cell, rc, measure)
 			if err != nil {
 				return nil, err
 			}

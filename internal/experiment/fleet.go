@@ -1,0 +1,545 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	mercury "github.com/recursive-restart/mercury"
+	"github.com/recursive-restart/mercury/internal/bus"
+	"github.com/recursive-restart/mercury/internal/clock"
+	"github.com/recursive-restart/mercury/internal/fault"
+	"github.com/recursive-restart/mercury/internal/orbit"
+	"github.com/recursive-restart/mercury/internal/proc"
+	"github.com/recursive-restart/mercury/internal/runner"
+	"github.com/recursive-restart/mercury/internal/sim"
+	"github.com/recursive-restart/mercury/internal/trace"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// This file is the fleet-scale campaign: N simulated ground stations, each
+// a full mercury.System with its own restart tree and organic failures,
+// partitioned across shard kernels and driven in parallel by the sim.Fleet
+// epoch scheduler. Stations exchange periodic telemetry beacons with their
+// ring neighbor over inter-station links whose latency is derived from the
+// constellation geometry (a GEO relay bounce), and that latency is the
+// fleet's conservative-lookahead bound: beacons always land at least one
+// epoch in the future, so shard kernels never need to roll back. The
+// folded result of a campaign is byte-identical for a given configuration
+// and seed no matter how many cores execute it.
+
+// geoAltitudeKm is the geostationary orbit altitude the inter-station
+// relay bounce transits (up to the relay, back down to the peer).
+const geoAltitudeKm = 35786.0
+
+// defaultLinkSeconds is the relay bounce time in seconds (a variable so
+// the fractional constant can be converted to a Duration below).
+var defaultLinkSeconds = 2 * geoAltitudeKm / orbit.SpeedOfLight
+
+// DefaultLinkLatency is the one-way inter-station message latency via the
+// GEO relay: 2 x 35,786 km at the speed of light, ~238.7 ms. It is also
+// the default epoch length — the largest epoch the lookahead bound allows.
+var DefaultLinkLatency = time.Duration(defaultLinkSeconds * float64(time.Second))
+
+// FleetConfig parameterises a fleet campaign. The zero value of every
+// field has a usable default; only Stations is required.
+type FleetConfig struct {
+	// Stations is the constellation size. Required, >= 1.
+	Stations int
+	// Group is the number of stations co-located on one shard kernel;
+	// default 1 (one kernel per station). Grouping trades scheduler
+	// overhead against intra-shard parallelism. Station-to-shard placement
+	// affects the event schedule, so Group is part of the reproducibility
+	// key (unlike Workers, which never is).
+	Group int
+	// Trees assigns restart trees round-robin across stations; default
+	// {"IV"}.
+	Trees []string
+	// Policy is each station's restart policy; default escalating.
+	Policy mercury.Policy
+	// Horizon is the simulated campaign duration after all stations are
+	// up; default 60s.
+	Horizon time.Duration
+	// BaseSeed seeds the campaign; per-shard kernel seeds are sub-derived
+	// with runner.SubSeed.
+	BaseSeed int64
+	// Workers bounds the fleet's shard-execution pool; <= 0 means
+	// runtime.GOMAXPROCS(0). Output-neutral.
+	Workers int
+	// Epoch overrides the synchronization quantum; default LinkLatency
+	// (the loosest correct setting). Must be <= LinkLatency.
+	Epoch time.Duration
+	// LinkLatency is the one-way inter-station beacon latency; default
+	// DefaultLinkLatency (GEO relay bounce).
+	LinkLatency time.Duration
+	// BeaconPeriod is each station's beacon interval; default 5s.
+	BeaconPeriod time.Duration
+	// FailMTTF is the per-component organic MTTF (lognormal, CV 0.25);
+	// default 10m. Zero disables organic failures... no: zero means the
+	// default; use NoFailures to disable.
+	FailMTTF time.Duration
+	// NoFailures disables organic fault injection (pure messaging load).
+	NoFailures bool
+	// Chaos, when non-nil, degrades every station's local fabric.
+	Chaos *bus.ChaosProfile
+}
+
+// withDefaults returns cfg with defaults applied, or an error.
+func (cfg FleetConfig) withDefaults() (FleetConfig, error) {
+	if cfg.Stations < 1 {
+		return cfg, fmt.Errorf("experiment: fleet needs >= 1 station, got %d", cfg.Stations)
+	}
+	if cfg.Group < 1 {
+		cfg.Group = 1
+	}
+	if len(cfg.Trees) == 0 {
+		cfg.Trees = []string{"IV"}
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = time.Minute
+	}
+	if cfg.LinkLatency <= 0 {
+		cfg.LinkLatency = DefaultLinkLatency
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = cfg.LinkLatency
+	}
+	if cfg.Epoch > cfg.LinkLatency {
+		return cfg, fmt.Errorf("experiment: epoch %v exceeds link latency %v (lookahead bound)",
+			cfg.Epoch, cfg.LinkLatency)
+	}
+	if cfg.BeaconPeriod <= 0 {
+		cfg.BeaconPeriod = 5 * time.Second
+	}
+	if cfg.FailMTTF <= 0 {
+		cfg.FailMTTF = 10 * time.Minute
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if err := cfg.Chaos.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// shardCount returns the number of shards the constellation partitions
+// into.
+func (cfg FleetConfig) shardCount() int {
+	return (cfg.Stations + cfg.Group - 1) / cfg.Group
+}
+
+// xlinkName is the per-station component receiving inter-station beacons.
+const xlinkName = "xlink"
+
+// stationAddr renders station i's fleet-global address for a local
+// component: "s<i>:<local>". Local addresses never contain ':', so the
+// form is unambiguous.
+func stationAddr(station int, local string) string {
+	return "s" + strconv.Itoa(station) + ":" + local
+}
+
+// parseStationAddr inverts stationAddr; ok is false for local addresses.
+func parseStationAddr(addr string) (station int, local string, ok bool) {
+	if len(addr) < 4 || addr[0] != 's' {
+		return 0, "", false
+	}
+	colon := strings.IndexByte(addr, ':')
+	if colon <= 1 {
+		return 0, "", false
+	}
+	n, err := strconv.Atoi(addr[1:colon])
+	if err != nil || n < 0 {
+		return 0, "", false
+	}
+	return n, addr[colon+1:], true
+}
+
+// fleetStation is one station's campaign state: the wired system plus the
+// deterministic counters folded into the campaign result.
+type fleetStation struct {
+	idx   int
+	sys   *mercury.System
+	xlink *bus.CrossLink
+
+	beaconSeq   uint64
+	beaconsSent uint64
+	beaconsRecv uint64
+
+	down       bool
+	downAt     time.Time
+	downtimeNs int64
+	recoveries uint64
+	giveUps    uint64
+}
+
+// xlinkHandler is the beacon terminal: instantly ready, counts inbound
+// telemetry. It lives outside the restart tree — the inter-station link
+// is infrastructure, not a monitored station component.
+type xlinkHandler struct {
+	st *fleetStation
+}
+
+func (h *xlinkHandler) Start(ctx proc.Context) { ctx.After(0, ctx.Ready) }
+func (h *xlinkHandler) Receive(_ proc.Context, m *xmlcmd.Message) {
+	if m.Kind() == xmlcmd.KindTelemetry {
+		h.st.beaconsRecv++
+	}
+}
+
+// inbound is a cross-shard parcel payload: a beacon bound for one station.
+type inbound struct {
+	station int
+	msg     *xmlcmd.Message
+}
+
+// fleetShard is one shard: a kernel hosting a contiguous slice of
+// stations, adapting their cross-links to the sim.FleetShard exchange
+// hooks.
+type fleetShard struct {
+	*sim.Kernel
+	idx      int
+	first    int // global index of stations[0]
+	group    int // cfg.Group, for destination shard mapping
+	latency  time.Duration
+	stations []*fleetStation
+	seq      uint64
+	hand     []bus.Handoff // drain scratch
+}
+
+// CollectOutbound drains every station's cross-link in station order and
+// converts hand-offs to parcels due one link latency after their send.
+func (s *fleetShard) CollectOutbound(dst []sim.Parcel) []sim.Parcel {
+	for _, st := range s.stations {
+		if st.xlink.Pending() == 0 {
+			continue
+		}
+		s.hand = st.xlink.Drain(s.hand[:0])
+		for _, h := range s.hand {
+			s.seq++
+			dst = append(dst, sim.Parcel{
+				To:      h.Station / s.group,
+				At:      h.SentAt.Add(s.latency),
+				Seq:     s.seq,
+				Payload: inbound{station: h.Station, msg: h.Msg},
+			})
+		}
+	}
+	return dst
+}
+
+// Inject schedules an inbound beacon for local delivery at its due time.
+func (s *fleetShard) Inject(p sim.Parcel) {
+	in := p.Payload.(inbound)
+	st := s.stations[in.station-s.first]
+	s.AfterFunc(p.At.Sub(s.Now()), func() {
+		st.sys.Bus.DeliverLocal(in.msg)
+	})
+}
+
+// buildShard constructs and boots shard idx: its kernel (seed sub-derived
+// from the campaign seed), its stations, their cross-links and beacon
+// terminals, the organic-failure laws, and the optional chaos profile.
+func buildShard(cfg FleetConfig, idx int) (*fleetShard, error) {
+	k := sim.New(runner.SubSeed(cfg.BaseSeed, uint64(idx)))
+	first := idx * cfg.Group
+	count := cfg.Group
+	if first+count > cfg.Stations {
+		count = cfg.Stations - first
+	}
+	sh := &fleetShard{
+		Kernel:  k,
+		idx:     idx,
+		first:   first,
+		group:   cfg.Group,
+		latency: cfg.LinkLatency,
+	}
+	systems := make([]*mercury.System, 0, count)
+	for j := 0; j < count; j++ {
+		g := first + j
+		sys, err := mercury.NewSystem(mercury.Config{
+			Kernel:   k,
+			TreeName: cfg.Trees[g%len(cfg.Trees)],
+			Policy:   cfg.Policy,
+			FaultyP:  FaultyP,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("station %d: %w", g, err)
+		}
+		st := &fleetStation{idx: g, sys: sys}
+		st.xlink = bus.NewCrossLink(clock.Sim{K: k}, func(addr string) (int, string, bool) {
+			n, local, ok := parseStationAddr(addr)
+			if !ok || n == g {
+				return 0, "", false
+			}
+			return n, local, true
+		})
+		sys.Bus.SetCrossLink(st.xlink)
+		if err := sys.Mgr.Register(xlinkName, func() proc.Handler { return &xlinkHandler{st: st} }); err != nil {
+			return nil, fmt.Errorf("station %d: %w", g, err)
+		}
+		sys.Log.Subscribe(func(e trace.Event) {
+			switch e.Kind {
+			case trace.ComponentDown, trace.ComponentKilled:
+				if !st.down {
+					st.down = true
+					st.downAt = e.At
+				}
+			case trace.SystemRecovered:
+				if st.down {
+					st.down = false
+					st.downtimeNs += e.At.Sub(st.downAt).Nanoseconds()
+					st.recoveries++
+				}
+			case trace.GiveUp:
+				st.giveUps++
+			}
+		})
+		sh.stations = append(sh.stations, st)
+		systems = append(systems, sys)
+	}
+	if err := mercury.BootAll(k, systems); err != nil {
+		return nil, fmt.Errorf("shard %d boot: %w", idx, err)
+	}
+	for _, st := range sh.stations {
+		if err := st.sys.Mgr.Start(xlinkName); err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.NoFailures {
+		// Sorted component order, station by station: priming draws from
+		// the shard RNG, so iteration order is part of the schedule.
+		for _, st := range sh.stations {
+			comps := st.sys.Components()
+			sort.Strings(comps)
+			for _, comp := range comps {
+				st.sys.Injector.SetLaw(comp, fault.LogNormal{M: cfg.FailMTTF, CV: 0.25})
+			}
+			st.sys.Injector.Enable()
+			for _, comp := range comps {
+				st.sys.Injector.Prime(comp)
+			}
+		}
+	}
+	if cfg.Chaos != nil {
+		for _, st := range sh.stations {
+			if err := st.sys.SetChaos(cfg.Chaos); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sh, nil
+}
+
+// scheduleBeacons arms every station's beacon ticker, aligned to the
+// fleet-wide start instant so no cross-shard traffic predates the first
+// epoch. Stations beacon their ring successor; the offset staggers
+// senders across the period deterministically by station index.
+func scheduleBeacons(cfg FleetConfig, shards []*fleetShard, start, end time.Time) {
+	for _, sh := range shards {
+		k := sh.Kernel
+		for _, st := range sh.stations {
+			st := st
+			peer := (st.idx + 1) % cfg.Stations
+			if peer == st.idx {
+				continue // single-station fleet: no one to beacon
+			}
+			from := stationAddr(st.idx, xlinkName)
+			to := stationAddr(peer, xlinkName)
+			var tick func()
+			tick = func() {
+				if !k.Now().Before(end) {
+					return
+				}
+				st.beaconSeq++
+				st.beaconsSent++
+				st.sys.Bus.Send(xmlcmd.NewTelemetry(from, to, st.beaconSeq,
+					"fleet_beacon", float64(st.idx), k.Now()))
+				k.AfterFunc(cfg.BeaconPeriod, tick)
+			}
+			offset := time.Duration(st.idx%97+1) * cfg.BeaconPeriod / 100
+			k.AfterFunc(start.Sub(k.Now())+offset, tick)
+		}
+	}
+}
+
+// FleetResult is one campaign's outcome. Every field except Workers and
+// Wall is a deterministic function of (FleetConfig minus Workers) — Fold
+// renders exactly that deterministic subset.
+type FleetResult struct {
+	Stations int
+	Shards   int
+	Group    int
+	Workers  int
+	BaseSeed int64
+
+	Horizon     time.Duration
+	Epoch       time.Duration
+	LinkLatency time.Duration
+
+	Epochs  uint64
+	Parcels uint64
+	Events  uint64
+
+	Failures    int
+	Recoveries  uint64
+	GiveUps     uint64
+	BeaconsSent uint64
+	BeaconsRecv uint64
+	Downtime    time.Duration
+	// Availability is the station-mean A_entire over the horizon.
+	Availability float64
+	// Digest fingerprints the full per-station outcome vector (FNV-1a
+	// over each station's counters in station order), so two runs that
+	// agree on aggregates but differ anywhere per-station still fold
+	// differently.
+	Digest uint64
+
+	// Wall is the real elapsed execution time (excluded from Fold).
+	Wall time.Duration
+}
+
+// Fold renders the deterministic byte string the reproducibility gates
+// compare: equal configurations and seeds must fold identically on any
+// core count.
+func (r *FleetResult) Fold() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fleet stations=%d shards=%d group=%d seed=%d horizon=%s epoch=%s latency=%s\n",
+		r.Stations, r.Shards, r.Group, r.BaseSeed, r.Horizon, r.Epoch, r.LinkLatency)
+	fmt.Fprintf(&sb, "epochs=%d parcels=%d events=%d\n", r.Epochs, r.Parcels, r.Events)
+	fmt.Fprintf(&sb, "failures=%d recoveries=%d giveups=%d beacons_sent=%d beacons_recv=%d\n",
+		r.Failures, r.Recoveries, r.GiveUps, r.BeaconsSent, r.BeaconsRecv)
+	fmt.Fprintf(&sb, "downtime=%s availability=%.6f\n", r.Downtime, r.Availability)
+	fmt.Fprintf(&sb, "digest=%016x\n", r.Digest)
+	return sb.String()
+}
+
+// RunFleet executes one fleet campaign.
+func RunFleet(ctx context.Context, cfg FleetConfig) (*FleetResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	wallStart := time.Now()
+
+	// Build and boot shards in parallel — each is self-contained, so this
+	// is output-neutral wall-clock speedup, same as trial fan-out.
+	nShards := cfg.shardCount()
+	shards, err := runner.Run(ctx, runner.Config{Workers: cfg.Workers, BaseSeed: cfg.BaseSeed},
+		nShards, func(_ context.Context, i int, _ int64) (*fleetShard, error) {
+			return buildShard(cfg, i)
+		})
+	if err != nil {
+		return nil, err
+	}
+	fleetShards := make([]sim.FleetShard, nShards)
+	for i, sh := range shards {
+		fleetShards[i] = sh
+	}
+	fl := sim.NewFleet(sim.FleetConfig{Epoch: cfg.Epoch, Workers: cfg.Workers}, fleetShards)
+
+	// Align the campaign to the most advanced shard clock: beacons (the
+	// only cross-shard traffic) start strictly after every shard has
+	// passed the first epoch edge's base.
+	start := fl.Now()
+	end := start.Add(cfg.Horizon)
+	scheduleBeacons(cfg, shards, start, end)
+
+	if err := fl.RunUntil(end); err != nil {
+		return nil, err
+	}
+
+	res := &FleetResult{
+		Stations:    cfg.Stations,
+		Shards:      nShards,
+		Group:       cfg.Group,
+		Workers:     cfg.Workers,
+		BaseSeed:    cfg.BaseSeed,
+		Horizon:     cfg.Horizon,
+		Epoch:       cfg.Epoch,
+		LinkLatency: cfg.LinkLatency,
+		Epochs:      fl.Epochs(),
+		Parcels:     fl.Parcels(),
+		Events:      fl.Executed(),
+	}
+	digest := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		digest.Write(buf[:])
+	}
+	var availSum float64
+	for _, sh := range shards {
+		for _, st := range sh.stations {
+			st.sys.Injector.Disable()
+			if st.down {
+				st.down = false
+				st.downtimeNs += end.Sub(st.downAt).Nanoseconds()
+			}
+			failures := st.sys.Board.Injected()
+			res.Failures += failures
+			res.Recoveries += st.recoveries
+			res.GiveUps += st.giveUps
+			res.BeaconsSent += st.beaconsSent
+			res.BeaconsRecv += st.beaconsRecv
+			res.Downtime += time.Duration(st.downtimeNs)
+			availSum += 1 - float64(st.downtimeNs)/float64(cfg.Horizon.Nanoseconds())
+			put(uint64(st.idx))
+			put(uint64(failures))
+			put(st.recoveries)
+			put(st.giveUps)
+			put(uint64(st.downtimeNs))
+			put(st.beaconsSent)
+			put(st.beaconsRecv)
+		}
+	}
+	res.Availability = availSum / float64(cfg.Stations)
+	res.Digest = digest.Sum64()
+	res.Wall = time.Since(wallStart)
+	return res, nil
+}
+
+// RunFleetTrials runs independent fleet campaigns (seed varies per trial)
+// on the runner pool. To avoid nested oversubscription — each campaign
+// already fans its shards across cfg.Workers — the trial pool width is
+// GOMAXPROCS divided by the per-campaign worker count, floored at 1.
+func RunFleetTrials(ctx context.Context, cfg FleetConfig, trials int) ([]*FleetResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	trialWorkers := runtime.GOMAXPROCS(0) / cfg.Workers
+	if trialWorkers < 1 {
+		trialWorkers = 1
+	}
+	return runner.Run(ctx, runner.Config{Workers: trialWorkers, BaseSeed: cfg.BaseSeed},
+		trials, func(ctx context.Context, i int, seed int64) (*FleetResult, error) {
+			tcfg := cfg
+			tcfg.BaseSeed = seed
+			return RunFleet(ctx, tcfg)
+		})
+}
+
+// RenderFleet formats a campaign result for the console.
+func RenderFleet(r *FleetResult) string {
+	eps := float64(r.Events) / r.Wall.Seconds()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fleet campaign — %d stations on %d shards (group %d), %v horizon, seed %d\n",
+		r.Stations, r.Shards, r.Group, r.Horizon, r.BaseSeed)
+	fmt.Fprintf(&sb, "  epochs %d (quantum %v, link latency %v), cross-shard parcels %d\n",
+		r.Epochs, r.Epoch, r.LinkLatency, r.Parcels)
+	fmt.Fprintf(&sb, "  events %d in %v wall (%.0f events/sec, %d workers)\n",
+		r.Events, r.Wall.Round(time.Millisecond), eps, r.Workers)
+	fmt.Fprintf(&sb, "  failures %d, recoveries %d, give-ups %d\n", r.Failures, r.Recoveries, r.GiveUps)
+	fmt.Fprintf(&sb, "  beacons sent %d / received %d\n", r.BeaconsSent, r.BeaconsRecv)
+	fmt.Fprintf(&sb, "  downtime %v, availability %.4f, digest %016x\n",
+		r.Downtime.Round(time.Millisecond), r.Availability, r.Digest)
+	return sb.String()
+}

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	mercury "github.com/recursive-restart/mercury"
+	"github.com/recursive-restart/mercury/internal/sim"
+)
+
+// This file is the golden byte-identity bridge between the historical
+// single-kernel trial path and the sharded fleet engine: one station
+// wrapped as a 1-shard fleet, driven by epoch-sliced RunUntil instead of a
+// Step loop, must reproduce the Table 2/4 golden traces byte-for-byte.
+// That holds because the epoch scheduler executes the exact same local
+// event sequence (it only quantizes *when the driver checks* for
+// recovery, and recovery durations are read from trace timestamps, not
+// from the driver's stopping instant), and it is pinned by
+// TestFleetBridgeTable2Golden / TestFleetBridgeTable4Golden.
+
+// soloShard adapts a standalone station's kernel to the fleet's shard
+// surface: no cross-shard traffic exists, so the exchange hooks are no-ops.
+type soloShard struct {
+	*sim.Kernel
+}
+
+func (soloShard) CollectOutbound(dst []sim.Parcel) []sim.Parcel { return dst }
+func (soloShard) Inject(sim.Parcel)                             {}
+
+// bridgeEpoch is the bridge's synchronization quantum. Any positive value
+// yields identical traces (the station's events are all local); 50 ms
+// keeps the recovery poll fine-grained without burning epochs.
+const bridgeEpoch = 50 * time.Millisecond
+
+// measureViaFleet runs one Cell trial through a 1-shard fleet: same
+// system, same seed, same fault — only the driving loop differs.
+func measureViaFleet(c Cell, seed int64) (time.Duration, error) {
+	sys, err := mercury.NewSystem(mercury.Config{
+		Seed:     seed,
+		TreeName: c.Tree,
+		Policy:   c.Policy,
+		FaultyP:  c.FaultyP,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.Boot(); err != nil {
+		return 0, fmt.Errorf("boot: %w", err)
+	}
+	fl := sim.NewFleet(sim.FleetConfig{Epoch: bridgeEpoch, Workers: 1},
+		[]sim.FleetShard{soloShard{sys.Kernel}})
+	if err := sys.Inject(mercury.Fault{Component: c.Component, Cure: c.Cure}); err != nil {
+		return 0, err
+	}
+	deadline := sys.Now().Add(5 * time.Minute)
+	for !sys.Recovered() {
+		if sys.Now().After(deadline) {
+			return 0, mercury.ErrNoRecovery
+		}
+		if err := fl.RunUntil(sys.Now().Add(bridgeEpoch)); err != nil {
+			return 0, err
+		}
+	}
+	d, ok := sys.Log.LastRecovery()
+	if !ok {
+		return 0, errors.New("experiment: recovery not recorded in trace")
+	}
+	return d, nil
+}
+
+// Table2ViaFleet measures the Table 2 grid with every trial driven through
+// the 1-shard fleet bridge.
+func Table2ViaFleet(ctx context.Context, rc RunConfig) ([]Row, error) {
+	return measureRowsWith(ctx, Table4Rows()[:2], rc, measureViaFleet)
+}
+
+// Table4ViaFleet measures the full Table 4 grid through the fleet bridge.
+func Table4ViaFleet(ctx context.Context, rc RunConfig) ([]Row, error) {
+	return measureRowsWith(ctx, Table4Rows(), rc, measureViaFleet)
+}

@@ -1,0 +1,50 @@
+package experiment
+
+// The satellite-task gate for the sharded fleet engine: the same campaign
+// grids, driven through a 1-shard Fleet instead of the direct Step loop,
+// must reproduce the existing golden traces byte-for-byte. These tests
+// deliberately compare against the same files TestTable2Golden and
+// TestTable4Golden pin (and never rewrite them, even under -update): the
+// single-kernel path owns the goldens; the bridge must match it.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func goldenEqual(t *testing.T, name, got string) {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("read golden (generate with the single-kernel golden test and -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("fleet bridge diverged from %s:\n--- golden\n%s\n--- got\n%s", name, want, got)
+	}
+}
+
+func TestFleetBridgeTable2Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Table2ViaFleet(context.Background(), RunConfig{Trials: 3, BaseSeed: 2002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenEqual(t, "table2.golden",
+		RenderRows(rows, "Table 2 — tree II recovery: detection + recovery time (s)"))
+}
+
+func TestFleetBridgeTable4Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Table4ViaFleet(context.Background(), RunConfig{Trials: 3, BaseSeed: 2002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenEqual(t, "table4.golden",
+		RenderRows(rows, "Table 4 — overall MTTRs (s); rows are tree/oracle, columns failed components"))
+}

@@ -45,12 +45,42 @@ type Config struct {
 }
 
 // SeedFor derives trial i's seed: BaseSeed + i*Stride.
+//
+// Overflow behavior, relied on at fleet scale (10k+ trials or shards):
+// Go's int64 arithmetic wraps two's-complement, so SeedFor is defined for
+// every (BaseSeed, i) — a campaign whose BaseSeed sits near MaxInt64
+// silently wraps into negative seeds rather than faulting, and every seed
+// consumer (sim.New, rand.NewSource) accepts the full int64 range. What
+// matters is distinctness, not sign: seeds are spaced by an odd stride
+// (DefaultStride 7919), and adding a fixed odd step modulo 2^64 is a
+// bijection, so trials 0..n-1 collide only if n*Stride wraps all the way
+// around — n > 2^64/7919 ≈ 2.3e15 trials for the default, far beyond any
+// campaign. seed_test.go pins both properties.
 func (c Config) SeedFor(i int) int64 {
 	stride := c.Stride
 	if stride == 0 {
 		stride = DefaultStride
 	}
 	return c.BaseSeed + int64(i)*stride
+}
+
+// SubSeed deterministically derives the j-th child seed from a trial seed,
+// for experiments that need many independent seeded objects inside one
+// trial — a fleet trial seeds one kernel per station from the trial seed.
+// Linear striding is the wrong tool there: per-station streams sit inside
+// *one* simulation, so they must look independent, and seed+j*stride feeds
+// correlated states into the simulation's own seed arithmetic. SubSeed
+// instead mixes (seed, j) through the SplitMix64 finalizer, whose output
+// is a bijection of the mixed input — distinct j always gives distinct
+// sub-seeds, and one-bit input changes avalanche across the word.
+func SubSeed(seed int64, j uint64) int64 {
+	z := uint64(seed) + (j+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
 }
 
 func (c Config) workers(trials int) int {

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pingShard is a minimal FleetShard for exercising the coordinator: each
+// shard periodically sends a numbered ping to a peer shard and records
+// every delivery it receives, mixing in its kernel RNG so any divergence
+// in event order corrupts the transcript visibly.
+type pingShard struct {
+	*Kernel
+	idx     int
+	peer    int
+	latency time.Duration
+	out     []Parcel
+	seq     uint64
+	log     []string
+	sent    int
+}
+
+func newPingShard(idx, peer int, seed int64, latency time.Duration) *pingShard {
+	return &pingShard{Kernel: New(seed), idx: idx, peer: peer, latency: latency}
+}
+
+func (s *pingShard) CollectOutbound(dst []Parcel) []Parcel {
+	dst = append(dst, s.out...)
+	s.out = s.out[:0]
+	return dst
+}
+
+func (s *pingShard) Inject(p Parcel) {
+	msg := p.Payload.(string)
+	delay := p.At.Sub(s.Now())
+	s.AfterFunc(delay, func() {
+		s.log = append(s.log, fmt.Sprintf("%s recv %s r=%d",
+			s.Now().Format("15:04:05.000"), msg, s.Rand().Intn(1000)))
+	})
+}
+
+// start schedules a periodic ping to the peer.
+func (s *pingShard) start(period time.Duration, count int) {
+	var tick func()
+	tick = func() {
+		if s.sent >= count {
+			return
+		}
+		s.sent++
+		s.seq++
+		s.out = append(s.out, Parcel{
+			To:      s.peer,
+			At:      s.Now().Add(s.latency),
+			Seq:     s.seq,
+			Payload: fmt.Sprintf("ping-%d-%d", s.idx, s.sent),
+		})
+		s.log = append(s.log, fmt.Sprintf("%s sent ping-%d-%d r=%d",
+			s.Now().Format("15:04:05.000"), s.idx, s.sent, s.Rand().Intn(1000)))
+		s.AfterFunc(period, tick)
+	}
+	s.AfterFunc(0, tick)
+}
+
+// runPingFleet builds an n-shard ring, runs it for horizon, and returns the
+// concatenated per-shard transcripts plus the fleet for counter checks.
+func runPingFleet(t *testing.T, n, workers int, seed int64) (string, *Fleet) {
+	t.Helper()
+	const (
+		latency = 250 * time.Millisecond
+		epoch   = 250 * time.Millisecond
+	)
+	shards := make([]FleetShard, n)
+	pings := make([]*pingShard, n)
+	for i := 0; i < n; i++ {
+		ps := newPingShard(i, (i+1)%n, seed+int64(i)*101, latency)
+		ps.start(400*time.Millisecond, 25)
+		pings[i] = ps
+		shards[i] = ps
+	}
+	fl := NewFleet(FleetConfig{Epoch: epoch, Workers: workers}, shards)
+	if err := fl.RunUntil(pings[0].Now().Add(30 * time.Second)); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	var sb strings.Builder
+	for i, ps := range pings {
+		fmt.Fprintf(&sb, "== shard %d ==\n", i)
+		for _, line := range ps.log {
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String(), fl
+}
+
+// TestFleetDeterministicAcrossWorkers is the tentpole invariant: the same
+// constellation and seed folds byte-identically regardless of worker count.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	ref, refFleet := runPingFleet(t, 6, 1, 42)
+	if refFleet.Parcels() == 0 {
+		t.Fatal("no parcels exchanged; test is vacuous")
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, fl := runPingFleet(t, 6, workers, 42)
+		if got != ref {
+			t.Fatalf("workers=%d transcript differs from sequential reference:\n--- want ---\n%s\n--- got ---\n%s", workers, ref, got)
+		}
+		if fl.Parcels() != refFleet.Parcels() {
+			t.Fatalf("workers=%d parcels=%d, want %d", workers, fl.Parcels(), refFleet.Parcels())
+		}
+		if fl.Epochs() != refFleet.Epochs() {
+			t.Fatalf("workers=%d epochs=%d, want %d", workers, fl.Epochs(), refFleet.Epochs())
+		}
+	}
+}
+
+// TestFleetSeedSensitivity guards against the transcript being constant.
+func TestFleetSeedSensitivity(t *testing.T) {
+	a, _ := runPingFleet(t, 4, 1, 1)
+	b, _ := runPingFleet(t, 4, 1, 2)
+	if a == b {
+		t.Fatal("different seeds produced identical transcripts")
+	}
+}
+
+// TestFleetLookaheadViolation: a link shorter than the epoch must be
+// rejected with ErrLookahead, not silently accepted.
+func TestFleetLookaheadViolation(t *testing.T) {
+	const epoch = 500 * time.Millisecond
+	a := newPingShard(0, 1, 7, 100*time.Millisecond) // latency < epoch
+	b := newPingShard(1, 0, 8, 100*time.Millisecond)
+	a.start(time.Second, 5)
+	fl := NewFleet(FleetConfig{Epoch: epoch, Workers: 1}, []FleetShard{a, b})
+	err := fl.RunUntil(a.Now().Add(5 * time.Second))
+	if !errors.Is(err, ErrLookahead) {
+		t.Fatalf("err = %v, want ErrLookahead", err)
+	}
+}
+
+// TestFleetBadDestination: a parcel addressed outside the fleet is a
+// deterministic error, not a panic or a drop.
+func TestFleetBadDestination(t *testing.T) {
+	a := newPingShard(0, 5, 7, time.Second) // peer 5 does not exist
+	b := newPingShard(1, 0, 8, time.Second)
+	a.start(time.Second, 3)
+	fl := NewFleet(FleetConfig{Epoch: time.Second, Workers: 1}, []FleetShard{a, b})
+	err := fl.RunUntil(a.Now().Add(5 * time.Second))
+	if err == nil || !strings.Contains(err.Error(), "unknown shard") {
+		t.Fatalf("err = %v, want unknown-shard error", err)
+	}
+}
+
+// TestFleetConfigValidation: construction panics on programmer error.
+func TestFleetConfigValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("no shards", func() {
+		NewFleet(FleetConfig{Epoch: time.Second}, nil)
+	})
+	mustPanic("zero epoch", func() {
+		NewFleet(FleetConfig{}, []FleetShard{newPingShard(0, 0, 1, time.Second)})
+	})
+}
+
+// TestFleetRunForAdvancesClock: RunFor moves every shard's clock together.
+func TestFleetRunForAdvancesClock(t *testing.T) {
+	a := newPingShard(0, 1, 7, time.Second)
+	b := newPingShard(1, 0, 8, time.Second)
+	fl := NewFleet(FleetConfig{Epoch: time.Second, Workers: 2}, []FleetShard{a, b})
+	start := fl.Now()
+	if err := fl.RunFor(10 * time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if got := fl.Now().Sub(start); got != 10*time.Second {
+		t.Fatalf("advanced %v, want 10s", got)
+	}
+	if a.Now() != b.Now() {
+		t.Fatalf("shard clocks diverged: %v vs %v", a.Now(), b.Now())
+	}
+}
+
+// TestShardInterface pins *Kernel to the Shard surface.
+func TestShardInterface(t *testing.T) {
+	var s Shard = New(1)
+	if s.Pending() != 0 || s.Executed() != 0 {
+		t.Fatal("fresh kernel should be empty")
+	}
+}

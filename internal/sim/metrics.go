@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/obs"
+)
+
+// FleetMetrics are the process-wide observability counters for the sharded
+// fleet scheduler. Like the other instrumented layers (bus, proc, core)
+// they live in a package-level struct and are exposed by calling
+// RegisterMetrics on the serving registry. Metrics are aggregate and
+// wall-clock flavored; anything that feeds deterministic folds lives on the
+// Fleet itself, never here.
+type FleetMetrics struct {
+	// Shards is the shard count of the most recently constructed fleet.
+	Shards obs.Gauge
+	// Epochs counts completed epoch barriers across all fleets.
+	Epochs obs.Counter
+	// Parcels counts cross-shard parcels exchanged at barriers.
+	Parcels obs.Counter
+	// LookaheadViolations counts parcels rejected for arriving before the
+	// epoch edge (a configuration bug: link latency < epoch length).
+	LookaheadViolations obs.Counter
+	// ShardEvents counts simulation events executed, by shard index.
+	ShardEvents *obs.CounterVec
+	// EpochWall is the wall-clock duration of whole epochs (run + barrier +
+	// exchange).
+	EpochWall *obs.Histogram
+	// BarrierStall is, per shard per epoch, the wall-clock time the shard
+	// sat finished at the barrier waiting for the slowest shard.
+	BarrierStall *obs.Histogram
+}
+
+// fleetBuckets is the wall-clock ladder for epoch and stall timings. Epochs
+// of a small constellation run in tens of microseconds; a 10k-station epoch
+// or a badly skewed shard can take tens of milliseconds. 10 µs – 10 s in a
+// 1-2.5-5 progression brackets both.
+func fleetBuckets() []time.Duration {
+	return []time.Duration{
+		10 * time.Microsecond,
+		25 * time.Microsecond,
+		50 * time.Microsecond,
+		100 * time.Microsecond,
+		250 * time.Microsecond,
+		500 * time.Microsecond,
+		time.Millisecond,
+		2500 * time.Microsecond,
+		5 * time.Millisecond,
+		10 * time.Millisecond,
+		25 * time.Millisecond,
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		250 * time.Millisecond,
+		500 * time.Millisecond,
+		time.Second,
+		2500 * time.Millisecond,
+		10 * time.Second,
+	}
+}
+
+// M holds the package's metrics.
+var M = FleetMetrics{
+	ShardEvents:  obs.NewCounterVec(),
+	EpochWall:    obs.NewHistogram(fleetBuckets()...),
+	BarrierStall: obs.NewHistogram(fleetBuckets()...),
+}
+
+// RegisterMetrics exposes the fleet scheduler's metrics on r.
+func RegisterMetrics(r *obs.Registry) {
+	r.RegisterGauge("mercury_fleet_shards",
+		"Shard count of the most recently constructed fleet.", &M.Shards)
+	r.RegisterCounter("mercury_fleet_epochs_total",
+		"Completed epoch barriers across all fleets.", &M.Epochs)
+	r.RegisterCounter("mercury_fleet_parcels_total",
+		"Cross-shard parcels exchanged at epoch barriers.", &M.Parcels)
+	r.RegisterCounter("mercury_fleet_lookahead_violations_total",
+		"Parcels rejected for arriving before the epoch edge.", &M.LookaheadViolations)
+	r.RegisterCounterVec("mercury_fleet_shard_events_total",
+		"Simulation events executed, by shard index.", "shard", M.ShardEvents)
+	r.RegisterHistogram("mercury_fleet_epoch_wall_seconds",
+		"Wall-clock duration of whole fleet epochs.", M.EpochWall)
+	r.RegisterHistogram("mercury_fleet_barrier_stall_seconds",
+		"Per-shard wall-clock time spent waiting at the epoch barrier.", M.BarrierStall)
+}

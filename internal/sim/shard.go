@@ -1,0 +1,60 @@
+package sim
+
+import "time"
+
+// Shard is the scheduling surface a simulation kernel exposes to a
+// coordinator that drives many kernels side by side. *Kernel implements it;
+// extracting the interface keeps the fleet scheduler (fleet.go) decoupled
+// from the kernel's internals, so a shard can equally be a raw kernel or a
+// kernel wrapped with domain state (a station group, its buses, its
+// cross-link terminals).
+type Shard interface {
+	// Now returns the shard's current virtual time.
+	Now() time.Time
+	// RunUntil executes local events with timestamps at or before target,
+	// then advances the shard clock to target.
+	RunUntil(target time.Time) error
+	// RunFor executes events for d of virtual time from the current instant.
+	RunFor(d time.Duration) error
+	// Step pops and executes the next local event, reporting false when the
+	// local queue is empty.
+	Step() bool
+	// Pending reports the number of scheduled local events.
+	Pending() int
+	// Executed reports how many local events have run so far.
+	Executed() uint64
+}
+
+var _ Shard = (*Kernel)(nil)
+
+// Parcel is one cross-shard hand-off: a message (or any payload) produced
+// on one shard during an epoch and due on another shard at a later virtual
+// instant. Parcels are the only way state crosses shard boundaries, and
+// they cross only at epoch barriers, in (From, Seq) order — which is what
+// makes a multi-core fleet run byte-identical to a single-core one.
+type Parcel struct {
+	// From and To are shard indices in the fleet.
+	From, To int
+	// At is the delivery instant. The conservative-lookahead protocol
+	// requires At to be at or after the end of the epoch in which the
+	// parcel was produced (link latency >= epoch length); the fleet rejects
+	// violations with ErrLookahead rather than silently losing determinism.
+	At time.Time
+	// Seq orders parcels from the same source shard within one epoch.
+	Seq uint64
+	// Payload is the carried value; the fleet never inspects it.
+	Payload any
+}
+
+// FleetShard is one member of a Fleet: a shard kernel plus the cross-shard
+// exchange hooks the barrier protocol calls. CollectOutbound and Inject are
+// only invoked on the coordinator goroutine, between epochs, so
+// implementations need no locking of their own.
+type FleetShard interface {
+	Shard
+	// CollectOutbound appends the parcels produced since the previous
+	// barrier to dst (in send order) and resets the outbound queue.
+	CollectOutbound(dst []Parcel) []Parcel
+	// Inject schedules an inbound parcel for local handling at p.At.
+	Inject(p Parcel)
+}

@@ -77,6 +77,11 @@ func (p Policy) String() string {
 type Config struct {
 	// Seed drives all randomness; equal seeds give identical runs.
 	Seed int64
+	// Kernel, when non-nil, is the simulation kernel to build on instead of
+	// creating a fresh one from Seed (Seed is then ignored). Fleet campaigns
+	// use this to co-locate several stations on one shard kernel; such
+	// systems must be booted together with BootAll, not System.Boot.
+	Kernel *sim.Kernel
 	// TreeName picks the restart tree: "I", "II", "IIp", "III", "IV", "V".
 	// Trees I and II imply the monolithic fedrcom layout; the rest use the
 	// split layout. Default "IV".
@@ -158,7 +163,10 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg.Policy = PolicyEscalating
 	}
 
-	k := sim.New(cfg.Seed)
+	k := cfg.Kernel
+	if k == nil {
+		k = sim.New(cfg.Seed)
+	}
 	clk := clock.Sim{K: k}
 	log := trace.NewLog()
 	mgr := proc.NewManager(clk, k.Rand(), log)
@@ -292,34 +300,72 @@ func (s *System) Components() []string {
 // Boot starts the station (one whole-system start), waits until every
 // component serves, then starts FD and REC. It advances simulated time.
 func (s *System) Boot() error {
-	if s.booted {
-		return errors.New("mercury: already booted")
+	return BootAll(s.Kernel, []*System{s})
+}
+
+// BootAll boots several systems sharing one kernel with a single
+// interleaved whole-system start: every station's ops and component
+// batches are started, the shared kernel steps until all stations serve,
+// then every FD/REC pair starts and the kernel settles for 2 s. For one
+// system this executes exactly the historical Boot sequence, so golden
+// traces are unaffected; for a shard hosting many stations it is the only
+// correct way to boot (per-system Boot would wind the shared clock forward
+// under the later stations).
+func BootAll(k *sim.Kernel, systems []*System) error {
+	if len(systems) == 0 {
+		return nil
 	}
-	if err := s.Mgr.Start(station.Ops); err != nil {
-		return err
-	}
-	if err := s.Mgr.StartBatch(s.components); err != nil {
-		return err
-	}
-	deadline := s.Kernel.Now().Add(3 * time.Minute)
-	for !s.Mgr.AllServing(s.components...) {
-		if s.Kernel.Now().After(deadline) {
-			return fmt.Errorf("mercury: boot did not complete: %s", s.describe())
+	for _, s := range systems {
+		if s.booted {
+			return errors.New("mercury: already booted")
 		}
-		if !s.Kernel.Step() {
-			return errors.New("mercury: simulation idle during boot")
+		if s.Kernel != k {
+			return errors.New("mercury: BootAll systems must share the kernel")
 		}
 	}
-	if _, err := s.Mgr.State(FDName); err == nil {
-		if err := s.Mgr.StartBatch([]string{FDName, RECName}); err != nil {
+	for _, s := range systems {
+		if err := s.Mgr.Start(station.Ops); err != nil {
+			return err
+		}
+		if err := s.Mgr.StartBatch(s.components); err != nil {
 			return err
 		}
 	}
-	if err := s.Kernel.RunFor(2 * time.Second); err != nil {
+	allServing := func() bool {
+		for _, s := range systems {
+			if !s.Mgr.AllServing(s.components...) {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := k.Now().Add(3 * time.Minute)
+	for !allServing() {
+		if k.Now().After(deadline) {
+			for _, s := range systems {
+				if !s.Mgr.AllServing(s.components...) {
+					return fmt.Errorf("mercury: boot did not complete: %s", s.describe())
+				}
+			}
+		}
+		if !k.Step() {
+			return errors.New("mercury: simulation idle during boot")
+		}
+	}
+	for _, s := range systems {
+		if _, err := s.Mgr.State(FDName); err == nil {
+			if err := s.Mgr.StartBatch([]string{FDName, RECName}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := k.RunFor(2 * time.Second); err != nil {
 		return err
 	}
-	s.armed = false
-	s.booted = true
+	for _, s := range systems {
+		s.armed = false
+		s.booted = true
+	}
 	return nil
 }
 
@@ -373,6 +419,14 @@ func (s *System) MeasureRecovery(f Fault, limit time.Duration) (time.Duration, e
 		return 0, errors.New("mercury: recovery not recorded in trace")
 	}
 	return d, nil
+}
+
+// Recovered reports whether the station is currently whole: no failure is
+// outstanding and no injected fault is active. Fleet campaigns poll this
+// between epochs instead of stepping the kernel directly (the epoch
+// scheduler owns the clock there).
+func (s *System) Recovered() bool {
+	return !s.armed && s.Board.ActiveCount() == 0
 }
 
 // SetChaos installs (or clears, with nil) the fabric-wide bus chaos
