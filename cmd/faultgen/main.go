@@ -17,7 +17,7 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("bus", "127.0.0.1:7707", "mbus broker address")
+		addr = flag.String("bus", "127.0.0.1:7707", "mbus address (comma-separated list for a sharded fabric)")
 		kill = flag.String("kill", "", "component to kill (required)")
 		cure = flag.String("cure", "", "comma-separated minimal cure set (default: the component)")
 	)
@@ -33,7 +33,7 @@ func run(addr, kill, cure string) error {
 		flag.Usage()
 		return fmt.Errorf("-kill is required")
 	}
-	client, err := bus.DialBus(addr, "faultgen", nil)
+	client, err := bus.DialAuto(addr, "faultgen", nil)
 	if err != nil {
 		return fmt.Errorf("dial bus: %w", err)
 	}

@@ -11,7 +11,12 @@
 // component liveness view as JSON) and GET /tree (the active restart
 // tree with per-node state as JSON). See OPERATIONS.md for a guide.
 //
+// With -bus-shards N (in-process runtime) mbus becomes an N-shard fabric:
+// the printed bus address is a comma-separated shard list that faultgen
+// and other clients accept as-is.
+//
 //	mercuryd -listen 127.0.0.1:7707 -tree IV -scale 10 -obs 127.0.0.1:7790
+//	mercuryd -listen 127.0.0.1:0 -bus-shards 2
 //	faultgen -bus 127.0.0.1:7707 -kill rtu
 //	curl -s 127.0.0.1:7790/metrics | grep mercury_rec
 package main
@@ -55,6 +60,7 @@ func main() {
 		killAt    = flag.Duration("kill-after", 5*time.Second, "wall-time delay before -kill")
 		quiet     = flag.Bool("quiet", false, "suppress the live trace stream")
 		multiproc = flag.Bool("multiproc", false, "run every component as its own OS process (per-JVM fidelity)")
+		busShards = flag.Int("bus-shards", 1, "broker shards for the mbus fabric (in-process runtime only)")
 		obsAddr   = flag.String("obs", "", "HTTP address for the observability endpoints (/metrics, /healthz, /tree); empty = disabled")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
@@ -73,6 +79,7 @@ func main() {
 		killAt:    *killAt,
 		quiet:     *quiet,
 		multiproc: *multiproc,
+		busShards: *busShards,
 		obsAddr:   *obsAddr,
 	}
 	if err := run(opts); err != nil {
@@ -91,6 +98,7 @@ type options struct {
 	killAt       time.Duration
 	quiet        bool
 	multiproc    bool
+	busShards    int
 	obsAddr      string
 }
 
@@ -125,6 +133,9 @@ func run(opts options) error {
 
 	var view *stationView
 	if opts.multiproc {
+		if opts.busShards > 1 {
+			return fmt.Errorf("-bus-shards requires the in-process runtime; drop -multiproc")
+		}
 		sup, err := mp.StartSupervisor(mp.SupervisorConfig{
 			ListenAddr: opts.listen,
 			Scale:      opts.scale,
@@ -141,6 +152,7 @@ func run(opts options) error {
 			Scale:      opts.scale,
 			TreeName:   opts.tree,
 			Seed:       opts.seed,
+			BusShards:  opts.busShards,
 		})
 		if err != nil {
 			return err
@@ -223,8 +235,10 @@ func serve(view *stationView, opts options) error {
 		fmt.Printf("mercuryd: observability at http://%s (/metrics /healthz /tree)\n", srv.Addr())
 	}
 
-	// Join the bus as the control client so faultgen can reach us.
-	ctl, err := bus.DialBus(view.busAddr, "ctl", func(m *xmlcmd.Message) {
+	// Join the bus as the control client so faultgen can reach us. The
+	// address spec may be a comma-separated shard list; DialAuto handles
+	// both shapes.
+	ctl, err := bus.DialAuto(view.busAddr, "ctl", func(m *xmlcmd.Message) {
 		if m.Kind() != xmlcmd.KindCommand || m.Command.Name != "inject" {
 			return
 		}

@@ -14,6 +14,8 @@
 //	rrbench chaos -loss 0.1 -trees IV -json   # one lossy cell, machine-readable
 //	rrbench wire                 # wire-path codec + TCP framing benchmarks
 //	rrbench wire -bench -benchlabel after     # append the records to BENCH_RESULTS.json
+//	rrbench wire -shards 4 -bench             # shard-scaling sweep of the batched wire path
+//	rrbench shardchaos -shards 2              # kill/recover broker shards of a live fabric
 //	rrbench fleet -stations 1000              # sharded constellation campaign
 //	rrbench fleet -verify -stations 12 -cores 4   # byte-identity across core counts
 //	rrbench fleet -bench -stations 1000       # cores-scaling sweep → BENCH_RESULTS.json
@@ -58,6 +60,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "wire" {
 		if err := runWire(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "rrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "shardchaos" {
+		if err := runShardChaos(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "rrbench:", err)
 			os.Exit(1)
 		}

@@ -7,8 +7,16 @@ package main
 // reference implementation is kept in the tree, one invocation produces
 // both the baseline and the optimised records, so BENCH_RESULTS.json gets
 // an honest before/after pair from the same binary on the same machine.
+//
+// The pump family has three rungs: wire-pump-xml (encoding/xml framing, two
+// syscalls per frame), wire-pump-fast (FrameWriter, one buffered write per
+// frame) and wire-pump-batched (BatchWriter group commit, one write per
+// batch). With -shards N the broker round trip additionally sweeps a 1..N
+// shard fabric with multiplexed ShardedClients, tagging each record with
+// its shard count so BENCH_RESULTS.json accumulates a scaling series.
 
 import (
+	"bufio"
 	"encoding/binary"
 	"encoding/json"
 	"flag"
@@ -46,6 +54,7 @@ func runWire(argv []string) error {
 	var (
 		iters      = fs.Int("iters", 200_000, "iterations per codec microbenchmark")
 		frames     = fs.Int("frames", 50_000, "frames per TCP pump benchmark")
+		shards     = fs.Int("shards", 0, "sweep a sharded broker round trip at 1..N shards (0 = skip)")
 		jsonOut    = fs.Bool("json", false, "emit one JSON document instead of text")
 		bench      = fs.Bool("bench", false, "append the records to -benchout")
 		benchOut   = fs.String("benchout", "BENCH_RESULTS.json", "perf-record file for -bench")
@@ -85,11 +94,22 @@ func runWire(argv []string) error {
 	if err != nil {
 		return err
 	}
+	pumpBatched, err := wirePumpBatched(msgs, *frames)
+	if err != nil {
+		return err
+	}
 	broker, err := wireBroker(*frames)
 	if err != nil {
 		return err
 	}
-	run.Records = []perfRecord{encStd, encFast, decStd, decFast, pumpStd, pumpFast, broker}
+	run.Records = []perfRecord{encStd, encFast, decStd, decFast, pumpStd, pumpFast, pumpBatched, broker}
+	for n := 1; n <= *shards; n++ {
+		rec, err := wireShardedBroker(*frames, n)
+		if err != nil {
+			return err
+		}
+		run.Records = append(run.Records, rec)
+	}
 
 	if *jsonOut {
 		out, err := json.MarshalIndent(run, "", "  ")
@@ -99,8 +119,12 @@ func runWire(argv []string) error {
 		fmt.Println(string(out))
 	} else {
 		for _, r := range run.Records {
-			fmt.Printf("%-16s %10d frames  %8.3fs  %12.0f frames/s  %8.1f ns/frame  %6.3f allocs/frame\n",
-				r.Name, r.Events, r.WallSeconds, r.EventsPerSec, r.NsPerEvent, r.AllocsPerEvent)
+			name := r.Name
+			if r.Shards > 0 {
+				name = fmt.Sprintf("%s/%d", r.Name, r.Shards)
+			}
+			fmt.Printf("%-20s %10d frames  %8.3fs  %12.0f frames/s  %8.1f ns/frame  %6.3f allocs/frame\n",
+				name, r.Events, r.WallSeconds, r.EventsPerSec, r.NsPerEvent, r.AllocsPerEvent)
 		}
 	}
 	if *bench {
@@ -219,29 +243,11 @@ func stdReadFrame(r io.Reader) (*xmlcmd.Message, error) {
 // them all. fast selects the buffered FrameWriter/FrameReader path;
 // otherwise the encoding/xml baseline framing runs.
 func wirePump(name string, msgs []*xmlcmd.Message, frames int, fast bool) (perfRecord, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return perfRecord{}, err
-	}
-	defer ln.Close()
-	accepted := make(chan net.Conn, 1)
-	go func() {
-		c, err := ln.Accept()
-		if err != nil {
-			close(accepted)
-			return
-		}
-		accepted <- c
-	}()
-	wc, err := net.Dial("tcp", ln.Addr().String())
+	wc, rc, err := loopbackPair()
 	if err != nil {
 		return perfRecord{}, err
 	}
 	defer wc.Close()
-	rc, ok := <-accepted
-	if !ok {
-		return perfRecord{}, fmt.Errorf("wire: accept failed")
-	}
 	defer rc.Close()
 
 	writeErr := make(chan error, 1)
@@ -286,11 +292,90 @@ func wirePump(name string, msgs []*xmlcmd.Message, frames int, fast bool) (perfR
 	return rec, nil
 }
 
+// loopbackPair opens one real loopback TCP connection and returns both
+// ends: wc for the writer goroutine, rc for the measuring reader.
+func loopbackPair() (wc, rc net.Conn, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	wc, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return nil, nil, err
+	}
+	rc, ok := <-accepted
+	if !ok {
+		wc.Close()
+		return nil, nil, fmt.Errorf("wire: accept failed")
+	}
+	return wc, rc, nil
+}
+
+// wirePumpBatched streams frames through one loopback connection on the
+// production batched path: the group-commit BatchWriter on the write side
+// (frames queue while a write is in flight and drain as one syscall) and a
+// buffered FrameReader on the read side (one kernel read yields many
+// frames) — a batch is byte-identical to the same frames written
+// individually. wire-pump-fast keeps the PR-4-era unbuffered
+// frame-at-a-time path, so the pair is an honest before/after.
+func wirePumpBatched(msgs []*xmlcmd.Message, frames int) (perfRecord, error) {
+	wc, rc, err := loopbackPair()
+	if err != nil {
+		return perfRecord{}, err
+	}
+	defer wc.Close()
+	defer rc.Close()
+
+	writeErr := make(chan error, 1)
+	go func() {
+		// Block, not DropNewest: a throughput benchmark must be lossless, so
+		// back-pressure throttles the producer instead of shedding frames.
+		bw := bus.NewBatchWriter(wc, bus.BatchConfig{Policy: bus.Block})
+		for i := 0; i < frames; i++ {
+			if err := bw.Enqueue(msgs[i%len(msgs)]); err != nil {
+				bw.Close()
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- bw.Close()
+	}()
+
+	mt := startMeter()
+	br := bufio.NewReaderSize(rc, 32<<10)
+	var fr bus.FrameReader
+	var dst xmlcmd.Message
+	for i := 0; i < frames; i++ {
+		if err := fr.ReadFrameInto(br, &dst); err != nil {
+			return perfRecord{}, err
+		}
+	}
+	rec := mt.record("wire-pump-batched", 0, uint64(frames))
+	if err := <-writeErr; err != nil {
+		return perfRecord{}, err
+	}
+	return rec, nil
+}
+
 // wireBroker measures the full fabric round trip: client a → broker →
 // client b, all three on loopback TCP with the production TCPBroker and
 // TCPClient code.
 func wireBroker(frames int) (perfRecord, error) {
-	b, err := bus.ListenBroker("127.0.0.1:0")
+	// The production broker default is DropNewest (a stalled reader must
+	// not wedge routing); a lossless throughput measurement wants Block so
+	// back-pressure throttles the source instead of shedding frames.
+	b, err := bus.ListenBrokerConfig("127.0.0.1:0",
+		bus.BrokerConfig{Batch: bus.BatchConfig{Policy: bus.Block}})
 	if err != nil {
 		return perfRecord{}, err
 	}
@@ -335,4 +420,73 @@ func wireBroker(frames int) (perfRecord, error) {
 		return perfRecord{}, fmt.Errorf("wire: broker delivered %d/%d frames", got.Load(), frames)
 	}
 	return mt.record("wire-broker", 0, uint64(frames)), nil
+}
+
+// wireShardedBroker measures the round trip through an n-shard fabric: one
+// multiplexed ShardedClient source fanning frames out round-robin over four
+// destinations, each destination a ShardedClient of its own. Destination
+// names hash across the shards, so with n > 1 the load spreads over n
+// independent broker event loops. The record carries Shards so the sweep
+// accumulates a scaling series in BENCH_RESULTS.json.
+func wireShardedBroker(frames, nshards int) (perfRecord, error) {
+	sb, err := bus.ListenSharded("127.0.0.1:0", nshards,
+		bus.BrokerConfig{Batch: bus.BatchConfig{Policy: bus.Block}})
+	if err != nil {
+		return perfRecord{}, err
+	}
+	defer sb.Close()
+
+	const ndests = 4
+	var got atomic.Int64
+	done := make(chan struct{})
+	dests := make([]string, ndests)
+	sinks := make([]*bus.ShardedClient, ndests)
+	for i := range dests {
+		dests[i] = fmt.Sprintf("cell-%d", i)
+		sink, err := bus.DialSharded(sb.Addrs(), dests[i], bus.ClientConfig{}, func(m *xmlcmd.Message) {
+			if got.Add(1) == int64(frames) {
+				close(done)
+			}
+		})
+		if err != nil {
+			return perfRecord{}, err
+		}
+		defer sink.Close()
+		sinks[i] = sink
+	}
+	src, err := bus.DialSharded(sb.Addrs(), "src", bus.ClientConfig{}, nil)
+	if err != nil {
+		return perfRecord{}, err
+	}
+	defer src.Close()
+
+	// Every client registers on every shard; wait until each shard has
+	// processed all the register frames before measuring, because frames to
+	// an unregistered destination drop silently.
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; i < nshards; i++ {
+		for len(sb.Shard(i).ClientNames()) < ndests+1 {
+			if time.Now().After(deadline) {
+				return perfRecord{}, fmt.Errorf("wire: shard %d clients never registered", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	msg := xmlcmd.NewPing("src", dests[0], 1, 42)
+	mt := startMeter()
+	for i := 0; i < frames; i++ {
+		msg.To = dests[i%ndests]
+		msg.Seq = uint64(i)
+		src.Send(msg)
+	}
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		return perfRecord{}, fmt.Errorf("wire: %d-shard fabric delivered %d/%d frames",
+			nshards, got.Load(), frames)
+	}
+	rec := mt.record("wire-broker-sharded", 0, uint64(frames))
+	rec.Shards = nshards
+	return rec, nil
 }

@@ -32,12 +32,25 @@ type BusMetrics struct {
 	TCPSendDrops     obs.Counter // client sends lost (no live connection or write error)
 	TCPRegistrations obs.Counter // broker register frames accepted
 	TCPConnections   obs.Gauge   // broker connections currently registered
+
+	// Sharded fabric + batching (mercury_bus_shard_* family).
+	TCPShardFrames       *obs.CounterVec     // frames routed, by broker shard index
+	TCPBatchFrames       *obs.ValueHistogram // frames coalesced per batched write
+	TCPQueueBytes        obs.Gauge           // bytes pending across bounded send queues
+	TCPBackpressureDrops obs.Counter         // frames rejected by a full send queue (DropNewest)
+	TCPReconnectQueued   obs.Counter         // client frames parked while disconnected
+	TCPReconnectDrops    obs.Counter         // client frames lost to a full reconnect queue
 }
 
 // M is the process-wide bus metrics instance. Hot call sites hold a
 // per-instance obs.CounterShard into these counters (one shard per Sim
 // fabric, per frame reader/writer) so concurrent writers do not contend.
-var M BusMetrics
+var M = BusMetrics{
+	TCPShardFrames: obs.NewCounterVec(),
+	// Batch sizes of interest span "no batching" (1) to full 16 KiB
+	// batches of ~80-byte frames (~200); powers of two up to 512.
+	TCPBatchFrames: obs.NewValueHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+}
 
 // shardSeq hands out shard indices to long-lived writers (fabrics,
 // connections) round-robin, spreading them across each counter's padded
@@ -83,6 +96,21 @@ func RegisterMetrics(r *obs.Registry) {
 		"Register frames accepted by the broker.", &M.TCPRegistrations)
 	r.RegisterGauge("mercury_bus_tcp_connections",
 		"Connections currently registered at the broker.", &M.TCPConnections)
+
+	r.RegisterCounterVec("mercury_bus_shard_frames_total",
+		"Frames routed, by broker shard index.", "shard", M.TCPShardFrames)
+	r.RegisterValueHistogram("mercury_bus_shard_batch_frames",
+		"Frames coalesced into one batched write.", M.TCPBatchFrames)
+	r.RegisterGauge("mercury_bus_shard_queue_bytes",
+		"Bytes pending across bounded per-connection send queues.", &M.TCPQueueBytes)
+	r.RegisterCounter("mercury_bus_shard_backpressure_drops_total",
+		"Frames rejected by a full bounded send queue (DropNewest policy).", &M.TCPBackpressureDrops)
+	r.RegisterCounter("mercury_bus_tcp_reconnect_queue_total",
+		"Client frames handled by the bounded reconnect queue, by outcome.",
+		&M.TCPReconnectQueued, "outcome", "queued")
+	r.RegisterCounter("mercury_bus_tcp_reconnect_queue_total",
+		"Client frames handled by the bounded reconnect queue, by outcome.",
+		&M.TCPReconnectDrops, "outcome", "dropped")
 }
 
 // simCounters is one Sim instance's pre-resolved shard set: the fabric

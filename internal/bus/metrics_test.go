@@ -97,6 +97,7 @@ func TestLinkDiscards(t *testing.T) {
 func TestRegisterMetricsRenders(t *testing.T) {
 	reg := obs.NewRegistry()
 	RegisterMetrics(reg)
+	M.TCPShardFrames.With("0") // materialise one shard label
 	var sb strings.Builder
 	if _, err := reg.WritePrometheus(&sb); err != nil {
 		t.Fatal(err)
@@ -106,6 +107,12 @@ func TestRegisterMetricsRenders(t *testing.T) {
 		`mercury_bus_sim_dropped_total{cause="chaos-loss"}`,
 		`mercury_bus_tcp_frames_total{dir="out"}`,
 		"mercury_bus_tcp_connections",
+		`mercury_bus_shard_frames_total{shard="0"}`,
+		`mercury_bus_shard_batch_frames_bucket{le="+Inf"}`,
+		"mercury_bus_shard_queue_bytes",
+		"mercury_bus_shard_backpressure_drops_total",
+		`mercury_bus_tcp_reconnect_queue_total{outcome="queued"}`,
+		`mercury_bus_tcp_reconnect_queue_total{outcome="dropped"}`,
 	} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("exposition missing %s", want)

@@ -1,6 +1,7 @@
 package bus
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -8,10 +9,13 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/recursive-restart/mercury/internal/clock"
+	"github.com/recursive-restart/mercury/internal/obs"
 	"github.com/recursive-restart/mercury/internal/xmlcmd"
 )
 
@@ -20,10 +24,15 @@ import (
 // between named clients, exactly the role mbus plays in the paper. The
 // broker can be stopped and restarted — clients reconnect with backoff, so
 // the fabric exhibits the same outage/recovery behaviour the simulated bus
-// models.
+// models. Multiple brokers compose into a sharded fabric (see shard.go);
+// outbound sides batch frames through BatchWriter (see batch.go).
 
 // Frame format: 4-byte big-endian length followed by the XML payload.
 const frameHeader = 4
+
+// readBufSize sizes the buffered readers on broker and client read loops:
+// comfortably above DefaultFlushBytes, so a full batch lands in one read.
+const readBufSize = 32 << 10
 
 // TCP errors.
 var (
@@ -35,7 +44,9 @@ var (
 // and XML payload in one reusable scratch buffer so each frame costs a
 // single Write call and, in steady state, zero allocations. A FrameWriter
 // is owned by one connection and is not safe for concurrent use; callers
-// serialise (the broker under its lock, the client under sendMu).
+// serialise. Connection send paths batch through BatchWriter instead; the
+// FrameWriter remains for one-shot frames (registration, tests, the
+// unbatched benchmark baseline).
 type FrameWriter struct {
 	buf []byte
 	sh  uint64 // metrics shard index; 0 = not yet assigned
@@ -132,36 +143,69 @@ func ReadFrame(r io.Reader) (*xmlcmd.Message, error) {
 // registerCommand is the client's first frame.
 const registerCommand = "register"
 
+// BrokerConfig tunes one broker (or broker shard).
+type BrokerConfig struct {
+	// Batch configures every connection's outbound send queue. The
+	// broker's policy should stay DropNewest (the ListenBroker default):
+	// one stalled reader must never wedge routing for other destinations.
+	Batch BatchConfig
+	// Shard is this broker's shard index, used as the metrics label on
+	// the mercury_bus_shard_* family. 0 for an unsharded broker.
+	Shard int
+}
+
 // TCPBroker is the mbus broker: it accepts client connections, each
 // opening with a register frame naming its bus address, and routes every
 // subsequent frame to the connection registered under the frame's To
-// address. Unroutable frames are dropped silently (fail-silent fabric).
+// address. Unroutable frames are dropped silently (fail-silent fabric);
+// frames to a stalled destination are bounded by that connection's send
+// queue, not by the sender.
+//
+// The registry is a sync.Map: routing is read-mostly (registrations are
+// rare, routed frames are the hot path), so concurrent senders resolve
+// destinations without serialising on a broker-wide lock, and each
+// destination's writes serialise only on its own BatchWriter.
 type TCPBroker struct {
-	ln net.Listener
+	ln  net.Listener
+	cfg BrokerConfig
 
-	mu     sync.Mutex
-	conns  map[string]*brokerConn
+	conns  sync.Map // name → *brokerConn
+	nconns atomic.Int64
+
+	// routed counts frames this broker forwarded, labelled by shard index.
+	routed *obs.Counter
+
+	mu     sync.Mutex // lifecycle only: closed flag vs. new registrations
 	closed bool
 	wg     sync.WaitGroup
 }
 
-// brokerConn pairs a registered client connection with its frame writer so
-// routed frames reuse one scratch buffer per destination. The writer is
-// only touched under the broker lock, which also serialises writes to the
-// connection.
+// brokerConn pairs a registered client connection with its batching send
+// queue. Routed frames enqueue here and a per-connection writer goroutine
+// coalesces them into single Write calls.
 type brokerConn struct {
 	conn net.Conn
-	fw   FrameWriter
+	bw   *BatchWriter
 }
 
 // ListenBroker starts a broker on addr (use "127.0.0.1:0" for an ephemeral
-// port).
+// port) with the default drop-on-backpressure batching config.
 func ListenBroker(addr string) (*TCPBroker, error) {
+	return ListenBrokerConfig(addr, BrokerConfig{Batch: BatchConfig{Policy: DropNewest}})
+}
+
+// ListenBrokerConfig starts a broker with explicit batching/back-pressure
+// tuning.
+func ListenBrokerConfig(addr string, cfg BrokerConfig) (*TCPBroker, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("bus: listen: %w", err)
 	}
-	b := &TCPBroker{ln: ln, conns: make(map[string]*brokerConn)}
+	b := &TCPBroker{
+		ln:     ln,
+		cfg:    cfg,
+		routed: M.TCPShardFrames.With(strconv.Itoa(cfg.Shard)),
+	}
 	b.wg.Add(1)
 	go b.acceptLoop()
 	return b, nil
@@ -179,11 +223,13 @@ func (b *TCPBroker) Close() error {
 	}
 	b.closed = true
 	err := b.ln.Close()
-	for _, bc := range b.conns {
-		_ = bc.conn.Close()
-	}
-	b.conns = make(map[string]*brokerConn)
 	b.mu.Unlock()
+	// Closing the connections unblocks every serve loop; each cleans up
+	// its own registry entry and batch writer.
+	b.conns.Range(func(_, v any) bool {
+		_ = v.(*brokerConn).conn.Close()
+		return true
+	})
 	b.wg.Wait()
 	return err
 }
@@ -201,15 +247,18 @@ func (b *TCPBroker) acceptLoop() {
 }
 
 // serve handles one client connection. The read side owns one FrameReader
-// and one Message for the connection's lifetime: routing is synchronous, so
-// each frame is fully forwarded before the buffers are reused, and a
-// steady-state routed frame allocates nothing on the broker.
+// and one Message for the connection's lifetime: route() hands the frame
+// to the destination's send queue, which copies it into the batch buffer
+// before returning, so the buffers are safe to reuse for the next frame.
 func (b *TCPBroker) serve(conn net.Conn) {
 	defer b.wg.Done()
 	var fr FrameReader
+	// Buffer the read side: peers write whole batches, so one kernel read
+	// typically yields many frames instead of two reads per frame.
+	br := bufio.NewReaderSize(conn, readBufSize)
 	// Registration.
 	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-	first, err := fr.ReadFrame(conn)
+	first, err := fr.ReadFrame(br)
 	if err != nil || first.Kind() != xmlcmd.KindCommand || first.Command.Name != registerCommand {
 		_ = conn.Close()
 		return
@@ -217,83 +266,117 @@ func (b *TCPBroker) serve(conn net.Conn) {
 	name := first.From
 	_ = conn.SetReadDeadline(time.Time{})
 
+	bc := &brokerConn{conn: conn, bw: NewBatchWriter(conn, b.cfg.Batch)}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
+		_ = bc.bw.Close()
 		_ = conn.Close()
 		return
 	}
-	if old, ok := b.conns[name]; ok {
-		_ = old.conn.Close() // a reconnecting client replaces its old session
+	if old, loaded := b.conns.Swap(name, bc); loaded {
+		// A reconnecting client replaces its old session; the old serve
+		// loop wakes on the closed connection and tears itself down.
+		_ = old.(*brokerConn).conn.Close()
+	} else {
+		M.TCPConnections.Set(b.nconns.Add(1))
 	}
-	b.conns[name] = &brokerConn{conn: conn}
 	M.TCPRegistrations.Inc()
-	M.TCPConnections.Set(int64(len(b.conns)))
 	b.mu.Unlock()
 
+	routed := b.routed.Shard(nextShard())
 	var m xmlcmd.Message
 	for {
-		if err := fr.ReadFrameInto(conn, &m); err != nil {
+		if err := fr.ReadFrameInto(br, &m); err != nil {
 			break
 		}
-		b.route(&m)
+		b.route(&m, routed)
 	}
 
-	b.mu.Lock()
-	if bc, ok := b.conns[name]; ok && bc.conn == conn {
-		delete(b.conns, name)
-		M.TCPConnections.Set(int64(len(b.conns)))
+	if b.conns.CompareAndDelete(name, bc) {
+		M.TCPConnections.Set(b.nconns.Add(-1))
 	}
-	b.mu.Unlock()
+	_ = bc.bw.Close()
 	_ = conn.Close()
 }
 
-// route forwards a frame to its destination, dropping it if the
-// destination has no live connection. Writes are serialised per
-// destination under the broker lock; broker throughput is nowhere near the
-// point where finer locking matters for the ground station's tens of
-// messages per second.
-func (b *TCPBroker) route(m *xmlcmd.Message) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if bc, ok := b.conns[m.To]; ok {
-		_ = bc.fw.WriteFrame(bc.conn, m)
-	} else {
+// route forwards a frame to its destination's send queue, dropping it if
+// the destination has no live connection. No broker-wide lock is held:
+// concurrent senders to different destinations proceed independently, and
+// senders to one destination contend only on that queue's mutex.
+func (b *TCPBroker) route(m *xmlcmd.Message, routed *obs.CounterShard) {
+	v, ok := b.conns.Load(m.To)
+	if !ok {
 		M.TCPRouteDrops.Inc()
+		return
 	}
+	routed.Inc()
+	// Back-pressure drops are counted by the queue; write errors are
+	// surfaced by the destination's own read loop. Fail-silent either way.
+	_ = v.(*brokerConn).bw.Enqueue(m)
 }
 
 // ClientNames lists currently registered clients (for tests/ops).
 func (b *TCPBroker) ClientNames() []string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]string, 0, len(b.conns))
-	for n := range b.conns {
-		out = append(out, n)
-	}
+	var out []string
+	b.conns.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
 	return out
 }
 
+// Client defaults.
+const (
+	// DefaultReconnectQueue bounds the bytes of encoded frames a client
+	// parks while its broker is away. 64 KiB ≈ 800 typical frames: enough
+	// to ride out a broker restart, small enough that a dead shard cannot
+	// balloon every sender.
+	DefaultReconnectQueue = 64 << 10
+)
+
+// ClientConfig tunes one client connection.
+type ClientConfig struct {
+	// Batch configures the outbound send queue. The client default policy
+	// is Block: a slow broker throttles the sender, matching the old
+	// synchronous-write semantics.
+	Batch BatchConfig
+	// ReconnectQueue bounds (in bytes) the frames parked while the broker
+	// is unreachable, flushed in order on reconnect. <= 0 selects
+	// DefaultReconnectQueue. Overflow is dropped against
+	// mercury_bus_tcp_reconnect_queue_total{outcome="dropped"}.
+	ReconnectQueue int
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.ReconnectQueue <= 0 {
+		c.ReconnectQueue = DefaultReconnectQueue
+	}
+	return c
+}
+
 // TCPClient is one component's connection to the broker. It reconnects
-// with backoff when the broker goes away, so a broker restart behaves like
-// the simulated bus outage: frames sent meanwhile are silently lost.
+// with backoff when the broker goes away; frames sent meanwhile are parked
+// in a bounded queue and flushed, in order, ahead of new traffic once the
+// broker returns — only queue overflow is lost (counted, not silent).
 type TCPClient struct {
 	name  string
 	addr  string
 	onMsg func(*xmlcmd.Message)
 	rng   *rand.Rand // backoff jitter; owned by readLoop
+	cfg   ClientConfig
 
-	mu     sync.Mutex
-	conn   net.Conn
-	closed bool
-	done   chan struct{} // closed by Close; unblocks the backoff wait
-	wg     sync.WaitGroup
+	mu          sync.Mutex
+	conn        net.Conn
+	bw          *BatchWriter // live connection's send queue; nil while disconnected
+	queue       []byte       // encoded frames parked for the next reconnect
+	queueFrames int
+	closed      bool
+	done        chan struct{} // closed by Close; unblocks the backoff wait
+	wg          sync.WaitGroup
 
-	// sendMu serialises writers and guards fw's scratch buffer. It is
-	// separate from mu so Close and the read loop never wait behind a slow
-	// socket write.
-	sendMu sync.Mutex
-	fw     FrameWriter
+	// fw writes the registration frame during connect (under mu).
+	fw FrameWriter
 }
 
 // DialBus connects and registers a client. onMsg is invoked from the read
@@ -301,6 +384,11 @@ type TCPClient struct {
 // delivered as a fresh message (only the frame buffers are reused), so
 // handlers may retain it or hand it to another goroutine.
 func DialBus(addr, name string, onMsg func(*xmlcmd.Message)) (*TCPClient, error) {
+	return DialBusConfig(addr, name, ClientConfig{}, onMsg)
+}
+
+// DialBusConfig connects with explicit batching/queue tuning.
+func DialBusConfig(addr, name string, cfg ClientConfig, onMsg func(*xmlcmd.Message)) (*TCPClient, error) {
 	// Seed the backoff jitter from the client name so a station's clients
 	// desynchronise deterministically rather than herding the broker.
 	h := fnv.New64a()
@@ -310,6 +398,7 @@ func DialBus(addr, name string, onMsg func(*xmlcmd.Message)) (*TCPClient, error)
 		addr:  addr,
 		onMsg: onMsg,
 		rng:   rand.New(rand.NewSource(int64(h.Sum64()))),
+		cfg:   cfg.withDefaults(),
 		done:  make(chan struct{}),
 	}
 	if err := c.connect(); err != nil {
@@ -320,48 +409,98 @@ func DialBus(addr, name string, onMsg func(*xmlcmd.Message)) (*TCPClient, error)
 	return c, nil
 }
 
-// connect dials and registers.
+// connect dials, registers, and flushes any frames parked while
+// disconnected — in order, ahead of anything sent after the reconnect.
 func (c *TCPClient) connect() error {
 	conn, err := net.DialTimeout("tcp", c.addr, 2*time.Second)
 	if err != nil {
 		return err
 	}
 	reg := xmlcmd.NewCommand(c.name, "mbus", 0, registerCommand)
-	c.sendMu.Lock()
-	err = c.fw.WriteFrame(conn, reg)
-	c.sendMu.Unlock()
-	if err != nil {
-		_ = conn.Close()
-		return err
-	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		_ = conn.Close()
 		return ErrClientClosed
 	}
+	err = c.fw.WriteFrame(conn, reg)
+	if err == nil && len(c.queue) > 0 {
+		// The parked queue is already a valid frame stream; one Write
+		// delivers the whole backlog as a single batch.
+		_, err = conn.Write(c.queue)
+		if err == nil {
+			M.TCPFramesOut.Add(uint64(c.queueFrames))
+			M.TCPBytesOut.Add(uint64(len(c.queue)))
+			M.TCPBatchFrames.Observe(uint64(c.queueFrames))
+			c.queue = c.queue[:0]
+			c.queueFrames = 0
+		}
+	}
+	if err != nil {
+		c.mu.Unlock()
+		_ = conn.Close()
+		return err
+	}
 	c.conn = conn
+	c.bw = NewBatchWriter(conn, c.cfg.Batch)
 	c.mu.Unlock()
 	return nil
 }
 
-// Send writes a frame. Failures are silent (the bus is fail-silent); a
-// write error triggers reconnection.
+// Send queues a frame. Delivery stays fail-silent (the bus contract), but
+// failure is no longer silent *loss* at the first hop: while disconnected
+// the frame is parked in the bounded reconnect queue (overflow counted in
+// mercury_bus_tcp_reconnect_queue_total{outcome="dropped"}), and on a live
+// connection it joins the batched send queue, whose Block policy throttles
+// the caller instead of dropping.
 func (c *TCPClient) Send(m *xmlcmd.Message) {
 	c.mu.Lock()
-	conn := c.conn
-	c.mu.Unlock()
-	if conn == nil {
-		M.TCPSendDrops.Inc()
+	bw := c.bw
+	if bw == nil {
+		defer c.mu.Unlock()
+		if c.closed {
+			M.TCPSendDrops.Inc()
+			return
+		}
+		if len(c.queue) >= c.cfg.ReconnectQueue {
+			M.TCPReconnectDrops.Inc()
+			M.TCPSendDrops.Inc()
+			return
+		}
+		n0 := len(c.queue)
+		buf, err := xmlcmd.AppendEncode(append(c.queue, 0, 0, 0, 0), m)
+		if err != nil {
+			c.queue = buf[:n0]
+			M.TCPSendDrops.Inc()
+			return
+		}
+		binary.BigEndian.PutUint32(buf[n0:n0+frameHeader], uint32(len(buf)-n0-frameHeader))
+		c.queue = buf
+		c.queueFrames++
+		M.TCPReconnectQueued.Inc()
 		return
 	}
-	c.sendMu.Lock()
-	err := c.fw.WriteFrame(conn, m)
-	c.sendMu.Unlock()
-	if err != nil {
+	c.mu.Unlock()
+	if err := bw.Enqueue(m); err != nil && !errors.Is(err, ErrBackpressure) {
+		// The connection failed under us: count the loss and nudge the
+		// read loop into its reconnect cycle.
 		M.TCPSendDrops.Inc()
-		_ = conn.Close()
+		c.mu.Lock()
+		conn := c.conn
+		c.mu.Unlock()
+		if conn != nil {
+			_ = conn.Close()
+		}
 	}
+}
+
+// Disconnected reports whether the client currently has no live
+// connection — sends are parking in the reconnect queue. For tests and
+// campaigns that must observe an outage before acting on it.
+func (c *TCPClient) Disconnected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bw == nil
 }
 
 // readLoop receives frames and reconnects on failure until closed. It owns
@@ -371,6 +510,9 @@ func (c *TCPClient) Send(m *xmlcmd.Message) {
 func (c *TCPClient) readLoop() {
 	defer c.wg.Done()
 	var fr FrameReader
+	// One buffered reader reused across reconnects: the broker writes whole
+	// batches, so one kernel read typically yields many frames.
+	br := bufio.NewReaderSize(nil, readBufSize)
 	backoff := 100 * time.Millisecond
 	for {
 		c.mu.Lock()
@@ -381,8 +523,9 @@ func (c *TCPClient) readLoop() {
 			return
 		}
 		if conn != nil {
+			br.Reset(conn)
 			for {
-				m, err := fr.ReadFrame(conn)
+				m, err := fr.ReadFrame(br)
 				if err != nil {
 					break
 				}
@@ -393,10 +536,15 @@ func (c *TCPClient) readLoop() {
 			}
 			_ = conn.Close()
 			c.mu.Lock()
+			var bw *BatchWriter
 			if c.conn == conn {
 				c.conn = nil
+				bw, c.bw = c.bw, nil
 			}
 			c.mu.Unlock()
+			if bw != nil {
+				_ = bw.Close() // queued-but-unwritten frames die with the conn
+			}
 		}
 		// Reconnect with capped, jittered backoff. Waiting on a timer
 		// instead of sleeping keeps Close responsive mid-backoff, and the
@@ -424,7 +572,8 @@ func (c *TCPClient) readLoop() {
 	}
 }
 
-// Close tears the client down.
+// Close tears the client down, flushing the live send queue first so
+// frames already queued (a one-shot tool's final command) reach the wire.
 func (c *TCPClient) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -433,9 +582,15 @@ func (c *TCPClient) Close() {
 	}
 	c.closed = true
 	close(c.done)
-	if c.conn != nil {
-		_ = c.conn.Close()
-	}
+	conn := c.conn
+	bw := c.bw
+	c.bw = nil
 	c.mu.Unlock()
+	if bw != nil {
+		_ = bw.Close()
+	}
+	if conn != nil {
+		_ = conn.Close()
+	}
 	c.wg.Wait()
 }

@@ -1,0 +1,226 @@
+package bus
+
+import (
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// Tests for the client reconnect queue and the broker's per-connection
+// back-pressure: the two places where the bus bounds memory instead of
+// either losing frames silently or growing without limit.
+
+// TestTCPReconnectQueueFlush pins the reconnect-queue contract: frames
+// sent while the broker is away are parked, counted, and delivered — in
+// send order, ahead of post-reconnect traffic — once the broker returns.
+// This is the regression test for the old behaviour, where Send while
+// disconnected discarded the frame with nothing but a counter tick. The
+// client sends to itself so delivery is deterministic: its register frame
+// precedes the flushed queue on the same connection, so the destination
+// is guaranteed to be routable by the time the parked frames arrive.
+func TestTCPReconnectQueueFlush(t *testing.T) {
+	b, err := ListenBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b.Addr()
+
+	var got collector
+	send, err := DialBus(addr, "fd", got.on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+	waitFor(t, "registration", func() bool { return len(b.ClientNames()) == 1 })
+
+	queued0 := M.TCPReconnectQueued.Value()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the client has noticed the outage (bw torn down) so the
+	// sends below exercise the parked-queue path, not the live path.
+	waitFor(t, "client to notice outage", func() bool {
+		send.mu.Lock()
+		defer send.mu.Unlock()
+		return send.bw == nil
+	})
+	const parked = 5
+	for i := uint64(0); i < parked; i++ {
+		send.Send(xmlcmd.NewPing("fd", "fd", i, 100+i))
+	}
+	if d := M.TCPReconnectQueued.Value() - queued0; d != parked {
+		t.Fatalf("reconnect-queued counter moved by %d, want %d", d, parked)
+	}
+
+	b2, err := ListenBroker(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	waitFor(t, "reconnection", func() bool { return len(b2.ClientNames()) == 1 })
+	send.Send(xmlcmd.NewPing("fd", "fd", parked, 100+parked))
+
+	waitFor(t, "parked frames + follow-up", func() bool { return got.count() == parked+1 })
+	got.mu.Lock()
+	defer got.mu.Unlock()
+	for i, m := range got.msgs {
+		if m.Ping.Nonce != uint64(100+i) {
+			t.Fatalf("frame %d: nonce %d, want %d (queue must flush in order, ahead of new sends)",
+				i, m.Ping.Nonce, 100+i)
+		}
+	}
+}
+
+// TestTCPReconnectQueueBound: the parked queue is bounded; overflow is
+// dropped against the dropped-outcome counter rather than growing the
+// queue without limit.
+func TestTCPReconnectQueueBound(t *testing.T) {
+	b, err := ListenBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue bound of ~1 KiB: a dozen pings fit, a few hundred do not.
+	send, err := DialBusConfig(b.Addr(), "fd", ClientConfig{ReconnectQueue: 1 << 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "client to notice outage", func() bool {
+		send.mu.Lock()
+		defer send.mu.Unlock()
+		return send.bw == nil
+	})
+
+	drops0 := M.TCPReconnectDrops.Value()
+	for i := uint64(0); i < 200; i++ {
+		send.Send(xmlcmd.NewPing("fd", "ses", i, i))
+	}
+	if M.TCPReconnectDrops.Value() == drops0 {
+		t.Fatal("200 parked pings never overflowed a 1 KiB reconnect queue")
+	}
+	send.mu.Lock()
+	qlen := len(send.queue)
+	send.mu.Unlock()
+	if qlen > (1<<10)+xmlcmd.MaxFrame {
+		t.Fatalf("parked queue grew to %d bytes past its 1 KiB bound", qlen)
+	}
+}
+
+// stalledClient registers a name at the broker over a raw connection and
+// then never reads: its kernel buffers fill, the broker's bounded send
+// queue for it fills, and further frames must be dropped — without the
+// stall propagating to other destinations.
+func stalledClient(t *testing.T, addr, name string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(conn, xmlcmd.NewCommand(name, "mbus", 0, registerCommand)); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// TestTCPBrokerStalledReaderIsolation: a destination that stops reading
+// must cost the broker at most one bounded queue, not wedge routing. The
+// fabric's DropNewest policy sheds that destination's frames against the
+// back-pressure counter while a healthy destination keeps receiving.
+func TestTCPBrokerStalledReaderIsolation(t *testing.T) {
+	b, err := ListenBrokerConfig("127.0.0.1:0", BrokerConfig{
+		Batch: BatchConfig{FlushBytes: 1 << 10, MaxQueue: 1 << 10, Policy: DropNewest},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	stalled := stalledClient(t, b.Addr(), "stuck")
+	defer stalled.Close()
+	var got collector
+	live, err := DialBus(b.Addr(), "ses", got.on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	send, err := DialBus(b.Addr(), "fd", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+	waitFor(t, "registration", func() bool { return len(b.ClientNames()) == 3 })
+
+	// Flood the stalled destination with fat frames until its socket
+	// buffers and bounded queue overflow and the drop counter moves.
+	drops0 := M.TCPBackpressureDrops.Value()
+	payload := strings.Repeat("x", 4<<10)
+	for i := uint64(0); i < 4096 && M.TCPBackpressureDrops.Value() == drops0; i++ {
+		send.Send(xmlcmd.NewEvent("fd", "stuck", i, "flood", payload))
+	}
+	if M.TCPBackpressureDrops.Value() == drops0 {
+		t.Fatal("16 MiB at a stalled reader never tripped its 1 KiB bounded queue")
+	}
+
+	// The healthy destination must still receive traffic promptly.
+	send.Send(xmlcmd.NewPing("fd", "ses", 1, 7))
+	waitFor(t, "delivery past the stalled peer", func() bool { return got.count() == 1 })
+	if m := got.last(); m.Ping == nil || m.Ping.Nonce != 7 {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+// BenchmarkBrokerRouteParallel measures the broker's routing hot path —
+// registry lookup plus batch enqueue — under concurrent senders. Before
+// the sharded registry this serialised every sender on one broker mutex;
+// now senders to one destination contend only on its queue.
+func BenchmarkBrokerRouteParallel(b *testing.B) {
+	br, err := ListenBroker("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer br.Close()
+
+	// A draining sink: register raw, then discard everything inbound so
+	// the batch writer never blocks on the socket.
+	conn, err := net.Dial("tcp", br.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, xmlcmd.NewCommand("sink", "mbus", 0, registerCommand)); err != nil {
+		b.Fatal(err)
+	}
+	var drain sync.WaitGroup
+	drain.Add(1)
+	go func() {
+		defer drain.Done()
+		_, _ = io.Copy(io.Discard, conn)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(br.ClientNames()) == 0 {
+		if time.Now().After(deadline) {
+			b.Fatal("sink never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		routed := br.routed.Shard(nextShard())
+		m := xmlcmd.NewPing("fd", "sink", 0, 42)
+		for pb.Next() {
+			br.route(m, routed)
+		}
+	})
+	b.StopTimer()
+	_ = conn.Close()
+	drain.Wait()
+}

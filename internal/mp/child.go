@@ -92,7 +92,7 @@ const hangCommand = "sys-hang"
 
 // clientTransport adapts a TCP bus client to proc.Transport.
 type clientTransport struct {
-	c *bus.TCPClient
+	c bus.Conn
 }
 
 func (t clientTransport) Send(m *xmlcmd.Message) { t.c.Send(m) }
@@ -175,10 +175,10 @@ func RunChild(cfg ChildConfig) error {
 	// handler hands each message to the dispatcher goroutine, which is safe
 	// because DialBus delivers a fresh message per frame — only the
 	// connection's frame buffers are reused underneath.
-	var client *bus.TCPClient
+	var client bus.Conn
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		client, err = bus.DialBus(cfg.BusAddr, cfg.Component, func(m *xmlcmd.Message) {
+		client, err = bus.DialAuto(cfg.BusAddr, cfg.Component, func(m *xmlcmd.Message) {
 			disp.Post(func() { mgr.Deliver(m) })
 		})
 		if err == nil {

@@ -81,9 +81,9 @@ type Supervisor struct {
 	broker   *rt.BrokerControl
 	spawn    SpawnFunc
 	seq      uint64
-	fdClient *bus.TCPClient
-	mbusCli  *bus.TCPClient
-	ctl      *bus.TCPClient
+	fdClient bus.Conn
+	mbusCli  bus.Conn
+	ctl      bus.Conn
 
 	mu       sync.Mutex
 	children map[string]*managedChild
@@ -350,21 +350,21 @@ func StartSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	// (only the connection's frame buffers are reused), so the handoff
 	// never races with the read loop.
 	addr := s.broker.Address()
-	s.fdClient, err = bus.DialBus(addr, xmlcmd.AddrFD, func(m *xmlcmd.Message) {
+	s.fdClient, err = bus.DialAuto(addr, xmlcmd.AddrFD, func(m *xmlcmd.Message) {
 		disp.Post(func() { mgr.Deliver(m) })
 	})
 	if err != nil {
 		s.Stop()
 		return nil, err
 	}
-	s.mbusCli, err = bus.DialBus(addr, station.MBus, func(m *xmlcmd.Message) {
+	s.mbusCli, err = bus.DialAuto(addr, station.MBus, func(m *xmlcmd.Message) {
 		disp.Post(func() { mgr.Deliver(m) })
 	})
 	if err != nil {
 		s.Stop()
 		return nil, err
 	}
-	s.ctl, err = bus.DialBus(addr, "supervisor", nil)
+	s.ctl, err = bus.DialAuto(addr, "supervisor", nil)
 	if err != nil {
 		s.Stop()
 		return nil, err

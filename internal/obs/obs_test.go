@@ -286,3 +286,66 @@ func TestRegistryConcurrentScrape(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+func TestValueHistogram(t *testing.T) {
+	h := NewValueHistogram(1, 4, 16)
+	for _, v := range []uint64{0, 1, 2, 4, 5, 16, 17, 1000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	if got := h.Sum(); got != 1045 {
+		t.Fatalf("Sum = %d, want 1045", got)
+	}
+	// le semantics: a value equal to a bound lands in that bucket.
+	wantCum := []uint64{2, 4, 6, 8} // ≤1, ≤4, ≤16, +Inf
+	for i, want := range wantCum {
+		if got := h.Cumulative(i); got != want {
+			t.Fatalf("Cumulative(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got, want := h.Mean(), 1045.0/8; got != want {
+		t.Fatalf("Mean = %g, want %g", got, want)
+	}
+}
+
+func TestValueHistogramValidation(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {5, 5}, {5, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewValueHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewValueHistogram(bounds...)
+		}()
+	}
+}
+
+func TestRegistryValueHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := NewValueHistogram(1, 8, 64)
+	r.RegisterValueHistogram("mercury_bus_shard_batch_frames", "Frames per batched write.", h)
+	h.Observe(1)
+	h.Observe(8)
+	h.Observe(100)
+	var sb strings.Builder
+	if _, err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE mercury_bus_shard_batch_frames histogram",
+		`mercury_bus_shard_batch_frames_bucket{le="1"} 1`,
+		`mercury_bus_shard_batch_frames_bucket{le="8"} 2`,
+		`mercury_bus_shard_batch_frames_bucket{le="64"} 2`,
+		`mercury_bus_shard_batch_frames_bucket{le="+Inf"} 3`,
+		"mercury_bus_shard_batch_frames_sum 109",
+		"mercury_bus_shard_batch_frames_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import "sync/atomic"
+
+// ValueHistogram is the unitless sibling of Histogram: a fixed-bucket
+// distribution over plain numbers (frames per batched write, queue depths)
+// rather than durations. Same contract as Histogram — Observe is a short
+// linear scan plus two atomic adds, no allocation, no locking — and the
+// exposition is the standard Prometheus cumulative form with the bucket
+// bounds rendered as numbers instead of seconds.
+type ValueHistogram struct {
+	bounds []float64       // ascending upper bounds; an implicit +Inf follows
+	counts []atomic.Uint64 // len(bounds)+1; last cell is the +Inf overflow
+	sum    atomic.Uint64   // total of observed values ×1 (integral observations)
+}
+
+// NewValueHistogram builds a histogram with the given ascending bucket
+// upper bounds ("le" semantics, like NewHistogram). Panics on empty or
+// unsorted bounds: construction is programmer-controlled setup.
+func NewValueHistogram(bounds ...float64) *ValueHistogram {
+	if len(bounds) == 0 {
+		panic("obs: value histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: value histogram bounds must be strictly ascending")
+		}
+	}
+	return &ValueHistogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one non-negative integral value (a batch's frame count,
+// a queue depth sample). Safe for concurrent use.
+func (h *ValueHistogram) Observe(v uint64) {
+	i := 0
+	for i < len(h.bounds) && float64(v) > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *ValueHistogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *ValueHistogram) Sum() uint64 { return h.sum.Load() }
+
+// Mean returns the average observed value (0 with no observations).
+func (h *ValueHistogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Bounds returns a copy of the bucket upper bounds.
+func (h *ValueHistogram) Bounds() []float64 {
+	return append([]float64(nil), h.bounds...)
+}
+
+// Cumulative returns the number of observations ≤ the i-th bound;
+// i == len(Bounds()) returns the total (the +Inf bucket).
+func (h *ValueHistogram) Cumulative(i int) uint64 {
+	var total uint64
+	for j := 0; j <= i && j < len(h.counts); j++ {
+		total += h.counts[j].Load()
+	}
+	return total
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -204,6 +205,9 @@ type NodeConfig struct {
 	Policy   core.Oracle // optional; nil = escalating
 	// Seed drives the deterministic parts (jitter, epochs).
 	Seed int64
+	// BusShards is the broker-shard count for the mbus fabric; 0 or 1
+	// runs the classic single broker.
+	BusShards int
 }
 
 // Node hosts a live Mercury station: TCP broker, components, FD and REC.
@@ -222,7 +226,7 @@ type Node struct {
 	cfg     NodeConfig
 	scale   float64
 	comps   []string
-	clients map[string]*bus.TCPClient
+	clients map[string]bus.Conn
 	broker  *BrokerControl
 	mu      sync.Mutex
 	stopped bool
@@ -236,51 +240,127 @@ func (n *Node) Components() []string {
 // TreeName returns the configured restart-tree name.
 func (n *Node) TreeName() string { return n.cfg.TreeName }
 
-// BrokerControl ties the mbus process lifecycle to the real TCP broker:
-// while the process is down the listener is closed and frames are lost.
-// It is shared by the in-process runtime (Node) and the multi-process
-// supervisor (internal/mp).
+// BrokerControl ties the mbus process lifecycle to the real TCP fabric:
+// while the process is down every shard's listener is closed and frames
+// are lost. It is shared by the in-process runtime (Node) and the
+// multi-process supervisor (internal/mp). With shards > 1 the mbus cell
+// owns a sharded fabric; its death still takes the whole fabric down
+// (mbus is one cell in the restart tree), while individual shard
+// kill/recover is driven externally (rrbench shardchaos, tests) against
+// the fabric handle.
 type BrokerControl struct {
 	addr   string
+	shards int
 	mu     sync.Mutex
-	broker *bus.TCPBroker
+	fabric *bus.ShardedBroker
+	addrs  []string // pinned after the first Open, stable across restarts
 }
 
 func (bc *BrokerControl) Open() error {
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
-	if bc.broker != nil {
+	if bc.fabric != nil {
 		return nil
 	}
-	b, err := bus.ListenBroker(bc.addr)
+	n := bc.shards
+	if n < 1 {
+		n = 1
+	}
+	var (
+		sb  *bus.ShardedBroker
+		err error
+	)
+	if bc.addrs != nil {
+		sb, err = bus.ListenShardedAddrs(bc.addrs, brokerDefaults())
+	} else {
+		sb, err = bus.ListenSharded(bc.addr, n, brokerDefaults())
+	}
 	if err != nil {
 		return err
 	}
-	if bc.addr == "127.0.0.1:0" || bc.addr == ":0" {
-		bc.addr = b.Addr() // pin the ephemeral port for restarts
-	}
-	bc.broker = b
+	bc.addrs = sb.Addrs() // pin ephemeral ports for restarts
+	bc.fabric = sb
 	return nil
+}
+
+// brokerDefaults is the live fabric's per-connection tuning: drop on
+// back-pressure (a stalled component must not wedge the bus cell).
+func brokerDefaults() bus.BrokerConfig {
+	return bus.BrokerConfig{Batch: bus.BatchConfig{Policy: bus.DropNewest}}
 }
 
 func (bc *BrokerControl) CloseBroker() {
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
-	if bc.broker != nil {
-		_ = bc.broker.Close()
-		bc.broker = nil
+	if bc.fabric != nil {
+		_ = bc.fabric.Close()
+		bc.fabric = nil
 	}
 }
 
+// Address returns the fabric's address spec: a single "host:port" for one
+// shard, a comma-separated list for a sharded fabric. bus.DialAuto
+// accepts either, so the spec flows through -bus flags unchanged.
 func (bc *BrokerControl) Address() string {
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
+	if bc.addrs != nil {
+		return strings.Join(bc.addrs, ",")
+	}
 	return bc.addr
 }
 
-// NewBrokerControl returns a controller for a broker on addr.
+// Fabric returns the live sharded fabric, or nil while mbus is down (for
+// shard-level chaos drivers).
+func (bc *BrokerControl) Fabric() *bus.ShardedBroker {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	return bc.fabric
+}
+
+// NumShards returns the fabric width the controller manages.
+func (bc *BrokerControl) NumShards() int {
+	n := bc.shards
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// KillShard stops one broker shard of the live fabric. A no-op while the
+// whole mbus cell is down. Serialised with Open/CloseBroker so a shard
+// fault cannot race the mbus cell's own restart (which rebinds every
+// pinned shard port).
+func (bc *BrokerControl) KillShard(i int) error {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if bc.fabric == nil {
+		return nil
+	}
+	return bc.fabric.KillShard(i)
+}
+
+// RestartShard revives one broker shard on its pinned address. A no-op
+// while the whole mbus cell is down — the cell's next Open rebinds every
+// shard anyway.
+func (bc *BrokerControl) RestartShard(i int) error {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if bc.fabric == nil {
+		return nil
+	}
+	return bc.fabric.RestartShard(i)
+}
+
+// NewBrokerControl returns a controller for a single-shard broker on addr.
 func NewBrokerControl(addr string) *BrokerControl {
-	return &BrokerControl{addr: addr}
+	return &BrokerControl{addr: addr, shards: 1}
+}
+
+// NewShardedBrokerControl returns a controller for an n-shard fabric
+// listening at addr (each shard on its own port).
+func NewShardedBrokerControl(addr string, n int) *BrokerControl {
+	return &BrokerControl{addr: addr, shards: n}
 }
 
 // NewLiveBrokerHandler returns the mbus component for real-time runtimes:
@@ -361,8 +441,8 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		Log:     log,
 		cfg:     cfg,
 		scale:   cfg.Scale,
-		clients: make(map[string]*bus.TCPClient),
-		broker:  &BrokerControl{addr: cfg.ListenAddr},
+		clients: make(map[string]bus.Conn),
+		broker:  NewShardedBrokerControl(cfg.ListenAddr, cfg.BusShards),
 	}
 	mgr.SetTransport(transport{node: node})
 	node.Board = fault.NewBoard(clk, mgr, log)
@@ -421,7 +501,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	for _, name := range append(append([]string(nil), comps...), xmlcmd.AddrFD) {
 		name := name
-		client, err := bus.DialBus(node.broker.Address(), name, func(m *xmlcmd.Message) {
+		client, err := bus.DialAuto(node.broker.Address(), name, func(m *xmlcmd.Message) {
 			disp.Post(func() { node.Mgr.Deliver(m) })
 		})
 		if err != nil {
@@ -557,7 +637,7 @@ func (n *Node) Stop() {
 	}
 	n.stopped = true
 	clients := n.clients
-	n.clients = map[string]*bus.TCPClient{}
+	n.clients = map[string]bus.Conn{}
 	n.mu.Unlock()
 	// Stop the dispatcher first so no handler can reopen the broker or
 	// touch clients while they are torn down.
