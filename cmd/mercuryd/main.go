@@ -36,6 +36,7 @@ import (
 	"github.com/recursive-restart/mercury/internal/mp"
 	"github.com/recursive-restart/mercury/internal/proc"
 	"github.com/recursive-restart/mercury/internal/rt"
+	"github.com/recursive-restart/mercury/internal/store"
 	"github.com/recursive-restart/mercury/internal/trace"
 	"github.com/recursive-restart/mercury/internal/xmlcmd"
 )
@@ -52,7 +53,7 @@ func main() {
 	}
 	var (
 		listen    = flag.String("listen", "127.0.0.1:7707", "TCP address for the mbus broker")
-		tree      = flag.String("tree", "IV", "restart tree (I, II, IIp, III, IV, V)")
+		tree      = flag.String("tree", "IV", "restart tree (I, II, IIp, III, IV, V; IIIm/IVm imply -micro)")
 		scale     = flag.Float64("scale", 10, "time compression (10 = ten times faster than calibrated)")
 		seed      = flag.Int64("seed", 2002, "deterministic seed for jitter and epochs")
 		duration  = flag.Duration("duration", 0, "run time (0 = until SIGINT)")
@@ -61,6 +62,7 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress the live trace stream")
 		multiproc = flag.Bool("multiproc", false, "run every component as its own OS process (per-JVM fidelity)")
 		busShards = flag.Int("bus-shards", 1, "broker shards for the mbus fabric (in-process runtime only)")
+		micro     = flag.Bool("micro", false, "microrebootable components on the crash-only store (in-process runtime only)")
 		obsAddr   = flag.String("obs", "", "HTTP address for the observability endpoints (/metrics, /healthz, /tree); empty = disabled")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
@@ -80,6 +82,7 @@ func main() {
 		quiet:     *quiet,
 		multiproc: *multiproc,
 		busShards: *busShards,
+		micro:     *micro,
 		obsAddr:   *obsAddr,
 	}
 	if err := run(opts); err != nil {
@@ -99,6 +102,7 @@ type options struct {
 	quiet        bool
 	multiproc    bool
 	busShards    int
+	micro        bool
 	obsAddr      string
 }
 
@@ -117,6 +121,7 @@ type stationView struct {
 	comps    []string
 	busAddr  string
 	log      *trace.Log
+	store    *store.Store // crash-only state store; nil unless micro mode
 	inject   func(fault.Fault) error
 	pid      func(component string) int // nil when components run in-process
 	stop     func()
@@ -136,6 +141,9 @@ func run(opts options) error {
 		if opts.busShards > 1 {
 			return fmt.Errorf("-bus-shards requires the in-process runtime; drop -multiproc")
 		}
+		if opts.micro || strings.HasSuffix(opts.tree, "m") {
+			return fmt.Errorf("-micro requires the in-process runtime; drop -multiproc")
+		}
 		sup, err := mp.StartSupervisor(mp.SupervisorConfig{
 			ListenAddr: opts.listen,
 			Scale:      opts.scale,
@@ -153,6 +161,7 @@ func run(opts options) error {
 			TreeName:   opts.tree,
 			Seed:       opts.seed,
 			BusShards:  opts.busShards,
+			Micro:      opts.micro,
 		})
 		if err != nil {
 			return err
@@ -176,6 +185,7 @@ func nodeView(node *rt.Node) *stationView {
 		comps:    node.Components(),
 		busAddr:  node.BusAddr(),
 		log:      node.Log,
+		store:    node.Store,
 		inject:   node.Inject,
 		stop:     node.Stop,
 	}

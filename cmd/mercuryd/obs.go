@@ -13,6 +13,7 @@ import (
 	"github.com/recursive-restart/mercury/internal/obs"
 	"github.com/recursive-restart/mercury/internal/proc"
 	"github.com/recursive-restart/mercury/internal/sim"
+	"github.com/recursive-restart/mercury/internal/store"
 	"github.com/recursive-restart/mercury/internal/xmlcmd"
 )
 
@@ -61,6 +62,10 @@ func startObs(addr string, view *stationView) (*obsServer, error) {
 	proc.RegisterMetrics(reg)
 	mp.RegisterMetrics(reg)
 	sim.RegisterMetrics(reg)
+	if view.store != nil {
+		store.RegisterMetrics(reg)
+		store.RegisterStoreGauges(reg, view.store)
+	}
 	start := time.Now()
 	reg.RegisterGaugeFunc("mercury_uptime_seconds",
 		"Wall-clock seconds since the observability listener started.",

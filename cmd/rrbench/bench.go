@@ -37,6 +37,13 @@ type perfRecord struct {
 	Cores             int     `json:"cores,omitempty"`
 	Speedup           float64 `json:"speedup,omitempty"`
 	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
+
+	// Microreboot-campaign fields, present only on `rrbench microreboot
+	// -bench` records.
+	Mode         string  `json:"mode,omitempty"`
+	Class        string  `json:"class,omitempty"`
+	MTTRSeconds  float64 `json:"mttr_s,omitempty"`
+	Availability float64 `json:"availability,omitempty"`
 }
 
 // perfRun is one rrbench -bench invocation.

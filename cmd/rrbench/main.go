@@ -12,6 +12,8 @@
 //	rrbench -all -cpuprofile cpu.pb.gz   # profile a full regeneration
 //	rrbench chaos                # degraded-network sweep (loss × tree × SuspectAfter)
 //	rrbench chaos -loss 0.1 -trees IV -json   # one lossy cell, machine-readable
+//	rrbench microreboot          # microreboot vs process vs group restart (MTTR/availability)
+//	rrbench microreboot -bench   # append the MTTR records to BENCH_RESULTS.json
 //	rrbench wire                 # wire-path codec + TCP framing benchmarks
 //	rrbench wire -bench -benchlabel after     # append the records to BENCH_RESULTS.json
 //	rrbench wire -shards 4 -bench             # shard-scaling sweep of the batched wire path
@@ -60,6 +62,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "wire" {
 		if err := runWire(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "rrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "microreboot" {
+		if err := runMicroreboot(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "rrbench:", err)
 			os.Exit(1)
 		}

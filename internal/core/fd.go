@@ -71,6 +71,7 @@ type FD struct {
 	targetSt         map[string]*targetState
 	lastBrokerPong   time.Time
 	lastSuspectRelay map[string]time.Time
+	lastSubReport    map[string]time.Time
 	recMissed        int
 	recNonce         uint64
 	recWait          bool
@@ -134,6 +135,7 @@ func NewFDWithHandle(p FDParams, targets []string, broker string, restartREC fun
 			restartREC:       restartREC,
 			targetSt:         make(map[string]*targetState, len(shared.targets)),
 			lastSuspectRelay: make(map[string]time.Time),
+			lastSubReport:    make(map[string]time.Time),
 		}
 		for _, t := range shared.targets {
 			fd.targetSt[t] = &targetState{}
@@ -352,6 +354,25 @@ func (fd *FD) Receive(ctx proc.Context, m *xmlcmd.Message) {
 			pong := xmlcmd.NewPong(xmlcmd.AddrFD, m, ctx.Incarnation())
 			pong.Seq = m.Seq
 			ctx.Send(pong)
+		}
+	case xmlcmd.KindEvent:
+		// Subcomponent failures are self-reported by the hosting process:
+		// the container's intact shell catches the crashed subcomponent and
+		// raises a "subfault" event naming it (e.g. ses.cache). The detector
+		// relays it to REC like any other failure, with the usual re-report
+		// throttle — in-process assertion beats ping timeouts by an order of
+		// magnitude, which is most of the microreboot MTTR win.
+		if m.Event.Name == "subfault" && fd.ready {
+			sub := m.Event.Detail
+			now := ctx.Now()
+			if last, ok := fd.lastSubReport[sub]; ok && now.Sub(last) < fd.params.ReReportInterval {
+				return
+			}
+			fd.lastSubReport[sub] = now
+			M.FDReports.Inc()
+			ctx.Log().Add(now, trace.FailureDetected, sub, "", "subfault reported to rec")
+			fd.seq++
+			ctx.Send(xmlcmd.NewEvent(xmlcmd.AddrFD, xmlcmd.AddrREC, fd.seq, "failure", sub))
 		}
 	case xmlcmd.KindHealth:
 		// Health-summary beacons (paper §7): warnings of suspect behaviour

@@ -29,6 +29,7 @@ type CoreMetrics struct {
 	RECRestarts       obs.Counter     // restart actions pushed (any node)
 	RECRestartsByNode *obs.CounterVec // same, labeled by restart-tree node
 	RECEscalations    obs.Counter     // persisting episodes escalated to a wider node
+	RECMicroreboots   obs.Counter     // recovery actions resolved as pure microreboots
 	RECBackoffWaits   obs.Counter     // restart actions damped by exponential backoff
 	RECGiveUps        obs.Counter     // components abandoned on budget exhaustion
 	RECRejuvenations  obs.Counter     // proactive rejuvenation restarts
@@ -76,6 +77,8 @@ func RegisterMetrics(r *obs.Registry) {
 		"Restart actions by restart-tree node.", "node", M.RECRestartsByNode)
 	r.RegisterCounter("mercury_rec_escalations_total",
 		"Persisting episodes escalated past the first attempt.", &M.RECEscalations)
+	r.RegisterCounter("mercury_rec_microreboots_total",
+		"Recovery actions resolved as pure subcomponent microreboots.", &M.RECMicroreboots)
 	r.RegisterCounter("mercury_rec_backoff_waits_total",
 		"Restart actions damped by exponential backoff.", &M.RECBackoffWaits)
 	r.RegisterCounter("mercury_rec_give_ups_total",

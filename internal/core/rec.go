@@ -91,6 +91,7 @@ type episode struct {
 	pendingReady    map[string]bool
 	observed        bool      // outcome already reported to a learning oracle
 	startedAt       time.Time // when the current attempt's report arrived
+	charged         []time.Time // budget charges accrued by this episode, refunded on cure
 }
 
 // REC is the recoverer: it owns the restart tree and the oracle, receives
@@ -249,13 +250,20 @@ func (r *REC) onFailureReport(ctx proc.Context, component string) {
 	if r.inFlight[component] {
 		return
 	}
-	if st, err := r.mgr.State(component); err != nil || st == proc.Starting {
+	if r.mgr.IsSub(component) {
+		if par, err := r.mgr.SubParent(component); err == nil && !r.mgr.Accepting(par) {
+			// The hosting process itself is down: its own failure report
+			// governs, and any process-level repair reboots the sub anyway.
+			return
+		}
+	}
+	if st, err := r.stateOf(component); err != nil || st == proc.Starting {
 		// Unknown component, or its restart is still under way: the report
 		// is stale.
 		return
 	}
 	now := ctx.Now()
-	if r.mgr.Serving(component) && now.Sub(r.readyAt[component]) < r.params.ReadyGrace {
+	if r.serving(component) && now.Sub(r.readyAt[component]) < r.params.ReadyGrace {
 		// The component recovered between FD's last probe and this report
 		// (detection lag right after a restart completes); acting on it
 		// would trigger a spurious second restart. A serving component
@@ -263,6 +271,14 @@ func (r *REC) onFailureReport(ctx proc.Context, component string) {
 		// manager's view can be stale (e.g. a hung child process whose
 		// supervisor still believes it healthy).
 		return
+	}
+
+	// A previous episode whose persistence window passed quietly is cured:
+	// settle it (verdict + budget refund) before judging the budget, so a
+	// recovery that already succeeded never counts against the component.
+	ep := r.episodes[component]
+	if ep != nil && ep.awaitingVerdict && now.Sub(ep.lastReadyAt) > r.params.PersistWindow {
+		r.resolveCured(component, ep)
 	}
 
 	// Budget: a component that keeps needing restarts has a hard failure.
@@ -285,18 +301,12 @@ func (r *REC) onFailureReport(ctx proc.Context, component string) {
 
 	// Episode continuation: if we just finished restarting for this
 	// component and the failure is back immediately, escalate.
-	ep := r.episodes[component]
 	if ep != nil && ep.awaitingVerdict && now.Sub(ep.lastReadyAt) <= r.params.PersistWindow {
 		ep.attempt++
 		ep.awaitingVerdict = false
 		M.RECEscalations.Inc()
 		r.observe(component, ep.prev, false)
 	} else {
-		if ep != nil && ep.awaitingVerdict && !ep.observed {
-			// The previous episode resolved quietly: its last restart
-			// cured the failure.
-			r.observe(component, ep.prev, true)
-		}
 		ep = &episode{attempt: 1}
 		r.episodes[component] = ep
 	}
@@ -320,6 +330,7 @@ func (r *REC) onFailureReport(ctx proc.Context, component string) {
 	}
 	r.inFlight[component] = true
 	r.history[component] = append(r.history[component], now)
+	ep.charged = append(ep.charged, now)
 	ctx.After(delay, func() {
 		set := node.Subtree()
 		ep.pendingReady = make(map[string]bool, len(set))
@@ -369,7 +380,27 @@ func (r *REC) procedureFor(set []string) (Recovery, string) {
 			return p, "recovering [" + set[0] + "] via procedure " + p.Name()
 		}
 	}
+	if r.allSubs(set) {
+		// The whole set is subcomponents: the action is microreboots only,
+		// the cheapest rung — no process is torn down.
+		M.RECMicroreboots.Inc()
+		return RestartRecovery{Exec: r.mgr.Restart}, "microrebooting [" + strings.Join(set, " ") + "]"
+	}
 	return RestartRecovery{Exec: r.mgr.Restart}, "restarting [" + strings.Join(set, " ") + "]"
+}
+
+// allSubs reports whether every member of a restart set is a registered
+// subcomponent.
+func (r *REC) allSubs(set []string) bool {
+	if len(set) == 0 {
+		return false
+	}
+	for _, name := range set {
+		if !r.mgr.IsSub(name) {
+			return false
+		}
+	}
+	return true
 }
 
 // onReady tracks restart-action completion for episode verdicts. It is
@@ -413,17 +444,60 @@ func (r *REC) onDownEvent(name, reason string) {
 	}
 }
 
-// scheduleVerdict reports a cured outcome to a learning oracle once the
-// persistence window passes without the failure re-manifesting.
+// scheduleVerdict settles the episode as cured once the persistence window
+// passes without the failure re-manifesting: the learning oracle (if any)
+// gets its verdict and the restart budget is refunded.
 func (r *REC) scheduleVerdict(comp string, ep *episode) {
-	if _, ok := r.oracle.(OutcomeObserver); !ok {
-		return
-	}
 	r.mgr.Clock().AfterFunc(r.params.PersistWindow+100*time.Millisecond, func() {
-		if r.episodes[comp] == ep && ep.awaitingVerdict && !ep.observed {
-			r.observe(comp, ep.prev, true)
+		if r.episodes[comp] == ep && ep.awaitingVerdict {
+			r.resolveCured(comp, ep)
 		}
 	})
+}
+
+// resolveCured closes an episode whose recovery held: beyond the oracle
+// verdict, the restart charges the episode accrued are refunded from the
+// component's budget. A recovery that succeeded — at any level of the
+// ladder, a microreboot included — must leave the process-level restart
+// budget untouched; without the refund, a string of independently cured
+// cheap failures would eventually trip the give-up threshold that is meant
+// for hard failures restarting cannot cure. Idempotent: settling the same
+// episode twice (verdict timer + quiet-resolution path) is harmless.
+func (r *REC) resolveCured(comp string, ep *episode) {
+	if !ep.observed {
+		r.observe(comp, ep.prev, true)
+	}
+	if len(ep.charged) == 0 {
+		return
+	}
+	hist := r.history[comp]
+	kept := hist[:0]
+	ci := 0
+	for _, at := range hist {
+		if ci < len(ep.charged) && at.Equal(ep.charged[ci]) {
+			ci++
+			continue
+		}
+		kept = append(kept, at)
+	}
+	r.history[comp] = kept
+	ep.charged = nil
+}
+
+// stateOf resolves a component or dotted subcomponent state.
+func (r *REC) stateOf(name string) (proc.State, error) {
+	if r.mgr.IsSub(name) {
+		return r.mgr.SubState(name)
+	}
+	return r.mgr.State(name)
+}
+
+// serving resolves component/subcomponent liveness.
+func (r *REC) serving(name string) bool {
+	if r.mgr.IsSub(name) {
+		return r.mgr.SubServing(name)
+	}
+	return r.mgr.Serving(name)
 }
 
 // observe forwards an outcome to a learning oracle, once per attempt.

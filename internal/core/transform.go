@@ -295,3 +295,43 @@ func MercuryTrees(monolithic, split []string) (map[string]*Tree, error) {
 	_ = split // the split component list is implied by the transformations
 	return trees, nil
 }
+
+// SubAugment extends a tree below the process level: each named component
+// keeps its cell, which gains one child cell per subcomponent (dotted
+// names, e.g. ses.cache). The sub cells are the microreboot rung — the
+// cheapest button on the escalation ladder. A failure confined to a
+// subcomponent restarts just it; persistence escalates to the hosting
+// process's own cell and onward exactly as before.
+func SubAugment(t *Tree, name string, subs map[string][]string) (*Tree, error) {
+	clone := cloneNode(t.root)
+	comps := make([]string, 0, len(subs))
+	for comp := range subs {
+		comps = append(comps, comp)
+	}
+	sort.Strings(comps)
+	for _, comp := range comps {
+		n := findComponent(clone, comp)
+		if n == nil {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownComponent, comp)
+		}
+		for _, sub := range subs[comp] {
+			n.Children = append(n.Children, &Node{Components: []string{comp + "." + sub}})
+		}
+	}
+	return NewTree(name, clone)
+}
+
+// findComponent locates the cell holding comp in an unlinked clone.
+func findComponent(n *Node, comp string) *Node {
+	for _, c := range n.Components {
+		if c == comp {
+			return n
+		}
+	}
+	for _, child := range n.Children {
+		if found := findComponent(child, comp); found != nil {
+			return found
+		}
+	}
+	return nil
+}

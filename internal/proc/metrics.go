@@ -10,9 +10,10 @@ import (
 // dominates recovery time. Increments happen on the dispatch context;
 // reads only happen when an obs registry renders them.
 type ProcMetrics struct {
-	Starts  obs.Counter    // incarnations launched (first starts + restarts)
-	Deaths  obs.Counter    // incarnations terminated (kill, crash, restart teardown)
-	Startup *obs.Histogram // start to functionally-ready per incarnation
+	Starts       obs.Counter    // incarnations launched (first starts + restarts)
+	Deaths       obs.Counter    // incarnations terminated (kill, crash, restart teardown)
+	Microreboots obs.Counter    // subcomponent in-place repairs (process untouched)
+	Startup      *obs.Histogram // start to functionally-ready per incarnation
 }
 
 // M is the process-wide lifecycle metrics instance.
@@ -27,6 +28,8 @@ func RegisterMetrics(r *obs.Registry) {
 		"Component incarnations launched.", &M.Starts)
 	r.RegisterCounter("mercury_proc_deaths_total",
 		"Component incarnations terminated (kill, crash or restart teardown).", &M.Deaths)
+	r.RegisterCounter("mercury_proc_microreboots_total",
+		"Subcomponent microreboots (in-place repair, process untouched).", &M.Microreboots)
 	r.RegisterHistogram("mercury_proc_startup_seconds",
 		"Component start to functionally-ready.", M.Startup)
 }

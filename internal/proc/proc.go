@@ -141,6 +141,11 @@ type Manager struct {
 	procs map[string]*Process
 	order []string
 
+	// Microrebootable subcomponents (see micro.go). nil maps until the
+	// first RegisterSub, so classic stations pay nothing.
+	subs     map[string]*subState
+	subOrder []string
+
 	// ContentionPerPeer is the per-extra-component startup stretch: a batch
 	// of k components starts with multiplier 1 + ContentionPerPeer*(k-1).
 	// Calibrated so a 5-component whole-system restart shows the paper's
@@ -259,8 +264,9 @@ func (m *Manager) startAll(names []string, stretch float64) error {
 		}
 		procs = append(procs, p)
 	}
+	batch := m.expandBatch(names)
 	for _, fn := range m.onBatch {
-		fn(append([]string(nil), names...))
+		fn(append([]string(nil), batch...))
 	}
 	for _, p := range procs {
 		p.start(stretch)
@@ -270,26 +276,40 @@ func (m *Manager) startAll(names []string, stretch float64) error {
 
 // Restart hard-kills then relaunches the named processes as one action.
 // Already-dead members are simply relaunched. This is the "push the restart
-// cell's button" primitive the recoverer uses.
+// cell's button" primitive the recoverer uses. Subcomponent names in the
+// set become microreboots: a sub whose parent is also named rides the
+// process restart for free, while a lone sub set is repaired in place
+// without touching the hosting process.
 func (m *Manager) Restart(names []string) error {
-	// Validate everything up front.
-	for _, name := range names {
-		if _, err := m.proc(name); err != nil {
-			return err
-		}
+	procs, micro, err := m.splitRestartSet(names)
+	if err != nil {
+		return err
 	}
-	for _, name := range names {
+	for _, name := range procs {
 		p := m.procs[name]
 		if p.state == Starting || p.state == Running {
 			p.die(trace.ComponentKilled, "restart action")
 		}
 	}
-	return m.StartBatch(names)
+	if len(procs) > 0 {
+		if err := m.StartBatch(procs); err != nil {
+			return err
+		}
+	}
+	for _, name := range micro {
+		if err := m.Microreboot(name); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Kill delivers a SIGKILL-equivalent: the process becomes fail-silent
 // immediately. Killing a Stopped or Dead process is a no-op.
 func (m *Manager) Kill(name, reason string) error {
+	if m.IsSub(name) {
+		return m.subKill(name, reason, trace.ComponentDown)
+	}
 	p, err := m.proc(name)
 	if err != nil {
 		return err
@@ -304,6 +324,9 @@ func (m *Manager) Kill(name, reason string) error {
 // stops receiving and replying but still counts as Running internally. The
 // fault board uses this to model failures that a restart did not cure.
 func (m *Manager) Silence(name string) error {
+	if m.IsSub(name) {
+		return m.subKill(name, "silenced (failure persists)", trace.ComponentDown)
+	}
 	p, err := m.proc(name)
 	if err != nil {
 		return err
@@ -435,6 +458,7 @@ func (p *Process) start(stretch float64) {
 	p.handler = p.factory()
 	p.mgr.log.Add(p.startedAt, trace.ComponentStarting, p.name, "",
 		fmt.Sprintf("incarnation=%d stretch=%.3f", p.gen, stretch))
+	p.mgr.subsOnParentStart(p.name)
 	p.ctx = &procCtx{p: p, gen: p.gen}
 	p.handler.Start(p.ctx)
 }
@@ -453,6 +477,7 @@ func (p *Process) die(kind trace.Kind, reason string) {
 	for _, fn := range p.mgr.onDown {
 		fn(p.name, reason)
 	}
+	p.mgr.subsOnParentDown(p.name, reason)
 }
 
 // markDown starts the downtime clock if the process was serving.
@@ -517,6 +542,7 @@ func (c *procCtx) Ready() {
 	for _, fn := range p.mgr.onReady {
 		fn(p.name)
 	}
+	p.mgr.subsOnParentReady(p.name)
 }
 
 func (c *procCtx) Fail(reason string) {

@@ -23,6 +23,7 @@ import (
 	"github.com/recursive-restart/mercury/internal/fault"
 	"github.com/recursive-restart/mercury/internal/proc"
 	"github.com/recursive-restart/mercury/internal/station"
+	"github.com/recursive-restart/mercury/internal/store"
 	"github.com/recursive-restart/mercury/internal/trace"
 	"github.com/recursive-restart/mercury/internal/xmlcmd"
 )
@@ -208,6 +209,10 @@ type NodeConfig struct {
 	// BusShards is the broker-shard count for the mbus fabric; 0 or 1
 	// runs the classic single broker.
 	BusShards int
+	// Micro enables the microrebootable decomposition on a crash-only
+	// store (implied by the m-variant tree names "IIIm"/"IVm"); requires a
+	// split-layout tree.
+	Micro bool
 }
 
 // Node hosts a live Mercury station: TCP broker, components, FD and REC.
@@ -222,6 +227,8 @@ type Node struct {
 	// every use in Disp.Call.
 	FD  *core.FDHandle
 	REC *core.RECHandle
+	// Store is the crash-only state store; nil unless micro mode is on.
+	Store *store.Store
 
 	cfg     NodeConfig
 	scale   float64
@@ -452,6 +459,17 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Micro || strings.HasSuffix(cfg.TreeName, "m") {
+		node.Store = store.New(clk, store.Options{SweepPeriod: 5 * time.Second})
+		params.Micro = station.DefaultMicroParams(node.Store)
+		for _, base := range []string{"III", "IV"} {
+			mt, err := core.SubAugment(trees[base], base+"m", station.MicroSubs())
+			if err != nil {
+				return nil, fmt.Errorf("rt: tree %sm: %w", base, err)
+			}
+			trees[base+"m"] = mt
+		}
+	}
 	tree, ok := trees[cfg.TreeName]
 	if !ok {
 		return nil, fmt.Errorf("rt: unknown tree %q", cfg.TreeName)
@@ -574,6 +592,14 @@ func registerStation(mgr *proc.Manager, p station.Params, layout station.Layout,
 	if err := mgr.Register(station.STR, station.NewSTR(p)); err != nil {
 		return nil, err
 	}
+	if p.Micro != nil {
+		if layout != station.Split {
+			return nil, fmt.Errorf("rt: micro mode requires the split layout, got %s", layout)
+		}
+		if err := station.RegisterSubs(mgr); err != nil {
+			return nil, err
+		}
+	}
 
 	// The broker process's death must close the real listener.
 	mgr.OnDown(func(name, _ string) {
@@ -606,7 +632,7 @@ func (n *Node) AllServing() bool {
 		} else {
 			comps = append(comps, station.Fedr, station.Pbcom)
 		}
-		ok = n.Mgr.AllServing(comps...) && n.Board.ActiveCount() == 0
+		ok = n.Mgr.AllServing(comps...) && n.Mgr.AllSubsServing() && n.Board.ActiveCount() == 0
 	})
 	return ok
 }

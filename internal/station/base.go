@@ -20,6 +20,10 @@ type base struct {
 	warnings     int
 	ageScore     float64
 	queueDepth   int
+
+	// micro is the microrebootable-container state; nil in classic mode
+	// (see micro.go).
+	micro *microState
 }
 
 // nextSeq returns a fresh sender-scoped sequence number.

@@ -9,6 +9,7 @@ import (
 	"github.com/recursive-restart/mercury/internal/orbit"
 	"github.com/recursive-restart/mercury/internal/proc"
 	"github.com/recursive-restart/mercury/internal/radio"
+	"github.com/recursive-restart/mercury/internal/store"
 	"github.com/recursive-restart/mercury/internal/xmlcmd"
 )
 
@@ -34,16 +35,20 @@ func NewSES(p Params) func() proc.Handler {
 }
 
 func (c *sesComponent) Start(ctx proc.Context) {
+	c.microArm(ctx)
+	c.microHook(SubCache, c.reloadEpoch)
 	d := c.startupDelay(ctx, c.params.SesStartup)
 	ctx.After(d, func() { c.enterWaitSync(ctx) })
 	c.scheduleEstimation(ctx)
 }
 
 // scheduleEstimation drives the pass workload once ready: every telemetry
-// period, point the antenna and retune the radio for Doppler.
+// period, point the antenna and retune the radio for Doppler. In micro
+// mode the workload pauses while the estimator or session-cache
+// subcomponent is crashed — the container shell keeps serving.
 func (c *sesComponent) scheduleEstimation(ctx proc.Context) {
 	ctx.After(c.params.TelemetryPeriod, func() {
-		if c.ready {
+		if c.ready && c.subOK(SubEst) && c.subOK(SubCache) {
 			c.estimate(ctx)
 		}
 		c.scheduleEstimation(ctx)
@@ -86,6 +91,9 @@ type strComponent struct {
 	targetAz float64
 	targetEl float64
 	haveTgt  bool
+
+	// track is the externalized antenna target in micro mode; nil classic.
+	track *store.Cell[trackTarget]
 }
 
 // NewSTR returns a factory for the str handler.
@@ -106,16 +114,40 @@ func NewSTR(p Params) func() proc.Handler {
 }
 
 func (c *strComponent) Start(ctx proc.Context) {
+	c.microArm(ctx)
+	c.microHook(SubCache, c.reloadEpoch)
+	c.microHook(SubTrack, func() { c.reloadTrack() })
+	if mp := c.params.Micro; mp != nil {
+		if l, err := mp.Store.Acquire(KeyTrackTarget, STR, mp.SessionTTL); err == nil {
+			c.microLease(ctx, l)
+			c.track = store.NewCell(l, trackCodec())
+			// A target surviving a process restart resumes tracking
+			// immediately instead of waiting for ses's next point command.
+			c.reloadTrack()
+		}
+	}
 	d := c.startupDelay(ctx, c.params.StrStartup)
 	ctx.After(d, func() { c.enterWaitSync(ctx) })
 	c.scheduleTracking(ctx)
 }
 
-// scheduleTracking steps the antenna once a second while ready.
+// reloadTrack is the track subcomponent's reattach path: re-adopt the
+// externalized antenna target.
+func (c *strComponent) reloadTrack() {
+	if c.track == nil {
+		return
+	}
+	if t, ok := c.track.Load(); ok {
+		c.targetAz, c.targetEl, c.haveTgt = t.az, t.el, true
+	}
+}
+
+// scheduleTracking steps the antenna once a second while ready (and, in
+// micro mode, while the tracking subcomponents are whole).
 func (c *strComponent) scheduleTracking(ctx proc.Context) {
 	const tick = time.Second
 	ctx.After(tick, func() {
-		if c.ready && c.haveTgt {
+		if c.ready && c.haveTgt && c.subOK(SubTrack) && c.subOK(SubCache) {
 			c.ant.Step(c.targetAz, c.targetEl, tick)
 			onTarget := 0.0
 			if c.ant.OnTarget(c.targetAz, c.targetEl) {
@@ -135,7 +167,7 @@ func (c *strComponent) Receive(ctx proc.Context, m *xmlcmd.Message) {
 	case xmlcmd.KindSyncAck:
 		c.handleSyncAck(ctx, m)
 	case xmlcmd.KindCommand:
-		if m.Command.Name != "point" || !c.ready {
+		if m.Command.Name != "point" || !c.ready || !c.subOK(SubTrack) {
 			return
 		}
 		az, errA := m.Command.FloatParam("azRad")
@@ -145,6 +177,9 @@ func (c *strComponent) Receive(ctx proc.Context, m *xmlcmd.Message) {
 			return
 		}
 		c.targetAz, c.targetEl, c.haveTgt = az, el, true
+		if c.track != nil {
+			_ = c.track.Save(trackTarget{az: az, el: el})
+		}
 		ctx.Send(xmlcmd.NewAck(STR, m.From, c.nextSeq(), m.Seq, true, ""))
 	default:
 		c.handleCommon(ctx, m)
@@ -389,6 +424,10 @@ type fedrComponent struct {
 	base
 	connected  bool
 	connectSeq uint64
+
+	// session is the externalized pbcom-connection session in micro mode;
+	// nil classic.
+	session *store.Cell[int64]
 }
 
 // NewFedr returns a factory for the split front-end driver.
@@ -401,8 +440,25 @@ func NewFedr(p Params) func() proc.Handler {
 }
 
 func (c *fedrComponent) Start(ctx proc.Context) {
+	c.microArm(ctx)
 	d := c.startupDelay(ctx, c.params.FedrStartup)
-	ctx.After(d, func() { c.connectLoop(ctx) })
+	ctx.After(d, func() {
+		if mp := c.params.Micro; mp != nil {
+			if l, err := mp.Store.Acquire(KeyFedrSession, Fedr, mp.SessionTTL); err == nil {
+				c.microLease(ctx, l)
+				c.session = store.NewCell(l, store.Int64Codec())
+				if _, ok := c.session.Load(); ok {
+					// A live session survived the restart: reattach without
+					// a new connect handshake. pbcom never sees a severed
+					// connection, so fedr restarts stop aging it.
+					c.connected = true
+					c.becomeReady(ctx)
+					return
+				}
+			}
+		}
+		c.connectLoop(ctx)
+	})
 }
 
 // connectLoop (re)sends the connect request until pbcom acknowledges.
@@ -421,10 +477,15 @@ func (c *fedrComponent) Receive(ctx proc.Context, m *xmlcmd.Message) {
 	case xmlcmd.KindAck:
 		if m.From == Pbcom && m.Ack.OfSeq == c.connectSeq && m.Ack.OK && !c.connected {
 			c.connected = true
+			if c.session != nil {
+				// Persist the session so the next incarnation reattaches
+				// instead of reconnecting (and re-aging pbcom).
+				_ = c.session.Save(int64(ctx.Incarnation()))
+			}
 			c.becomeReady(ctx)
 		}
 	case xmlcmd.KindCommand:
-		if m.Command.Name == "radio-tune" && c.ready {
+		if m.Command.Name == "radio-tune" && c.ready && c.subOK(SubSession) {
 			// Translate and forward to the port proxy.
 			f, err := m.Command.FloatParam("freqHz")
 			if err != nil {

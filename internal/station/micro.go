@@ -1,0 +1,245 @@
+package station
+
+import (
+	"sort"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/clock"
+	"github.com/recursive-restart/mercury/internal/proc"
+	"github.com/recursive-restart/mercury/internal/store"
+	"github.com/recursive-restart/mercury/internal/xmlcmd"
+)
+
+// This file implements the microrebootable decomposition of the fat
+// components. In micro mode the session/track state that used to live in
+// process memory — and forced the ses↔str co-restart — moves into the
+// crash-only store behind leases, and each fat component splits into
+// subcomponents whose logic can crash and be microrebooted individually
+// while the hosting process's protocol shell keeps serving.
+//
+//	ses  = ses.cache (session epoch)  + ses.est  (estimator workload)
+//	str  = str.cache (session epoch)  + str.track (antenna target)
+//	fedr = fedr.session (pbcom connection session)
+//
+// A microreboot is "drop the logic, reattach to the state": the sub's
+// reattach hook re-reads its state from the store and the sub is
+// functional again after MicrorebootTime — no process teardown, no resync
+// handshake, no induced peer failure.
+
+// Subcomponent short names.
+const (
+	SubCache   = "cache"
+	SubEst     = "est"
+	SubTrack   = "track"
+	SubSession = "session"
+)
+
+// Store keys for the externalized state.
+const (
+	KeySessionEpoch = "session/epoch" // shared ses↔str session epoch
+	KeyTrackTarget  = "track/target"  // str's current antenna target
+	KeyFedrSession  = "session/fedr"  // fedr's pbcom connection session
+)
+
+// MicroParams configures the microrebootable decomposition. A nil pointer
+// in Params means the classic monolithic-state components — byte-identical
+// to the seed behaviour.
+type MicroParams struct {
+	// Store is the crash-only state store (required).
+	Store *store.Store
+	// MicrorebootTime is the subcomponent re-init time: drop logic,
+	// reattach to store state. The paper's successors measure this at
+	// orders of magnitude below process restart.
+	MicrorebootTime time.Duration
+	// ReattachSettle replaces SyncSettle when a restarted component adopts
+	// the surviving session epoch from the store instead of handshaking
+	// with its peer.
+	ReattachSettle time.Duration
+	// SubFaultDetect is the in-process assertion latency: how quickly the
+	// hosting container catches a crashed subcomponent and reports it.
+	SubFaultDetect time.Duration
+	// SubReReport is the re-report period while a subcomponent stays
+	// broken (covers report loss and REC restarts).
+	SubReReport time.Duration
+	// SessionTTL is the store lease TTL on externalized state; components
+	// renew at a third of it. Once every holder is dead for a full TTL the
+	// state dies with them — the crash-only contract.
+	SessionTTL time.Duration
+}
+
+// DefaultMicroParams returns the calibrated micro-mode configuration on
+// the given store.
+func DefaultMicroParams(st *store.Store) *MicroParams {
+	return &MicroParams{
+		Store:           st,
+		MicrorebootTime: 250 * time.Millisecond,
+		ReattachSettle:  300 * time.Millisecond,
+		SubFaultDetect:  200 * time.Millisecond,
+		SubReReport:     2 * time.Second,
+		SessionTTL:      30 * time.Second,
+	}
+}
+
+// MicroSubs maps each fat component to its subcomponent short names; this
+// is both the proc registration set and the SubAugment input for the
+// m-variant trees.
+func MicroSubs() map[string][]string {
+	return map[string][]string{
+		SES:  {SubCache, SubEst},
+		STR:  {SubCache, SubTrack},
+		Fedr: {SubSession},
+	}
+}
+
+// RegisterSubs registers the microrebootable subcomponents with the
+// manager, in deterministic order.
+func RegisterSubs(mgr *proc.Manager) error {
+	subs := MicroSubs()
+	parents := make([]string, 0, len(subs))
+	for parent := range subs {
+		parents = append(parents, parent)
+	}
+	sort.Strings(parents)
+	for _, parent := range parents {
+		for _, short := range subs[parent] {
+			if err := mgr.RegisterSub(parent, short); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// microState is the per-incarnation container bookkeeping base carries in
+// micro mode: which subcomponents are currently broken, and how to
+// reattach each one to its store state.
+type microState struct {
+	ctx      proc.Context
+	broken   map[string]bool
+	reattach map[string]func()
+	leases   []*store.Lease
+	renewer  *clock.Ticker
+}
+
+// microArm initialises the container for this incarnation. Components call
+// it at Start; it is a no-op in classic mode.
+func (b *base) microArm(ctx proc.Context) {
+	if b.params.Micro == nil {
+		return
+	}
+	b.micro = &microState{
+		ctx:      ctx,
+		broken:   make(map[string]bool),
+		reattach: make(map[string]func()),
+	}
+}
+
+// microHook registers sub's reattach logic, run on every microreboot.
+func (b *base) microHook(sub string, fn func()) {
+	if b.micro != nil {
+		b.micro.reattach[sub] = fn
+	}
+}
+
+// microLease tracks a lease for periodic renewal and starts the renewal
+// ticker on first use. Tickers ride the incarnation context, so renewals
+// stop the instant the process dies — which is exactly what lets the state
+// expire when nobody is left alive to claim it.
+func (b *base) microLease(ctx proc.Context, l *store.Lease) {
+	m := b.micro
+	m.leases = append(m.leases, l)
+	if m.renewer == nil {
+		ttl := b.params.Micro.SessionTTL
+		m.renewer = clock.NewTicker(tickClock{ctx}, ttl/3, func() {
+			for _, l := range m.leases {
+				_ = l.Renew(ttl) // a lost lease re-arms via the next reattach
+			}
+		})
+	}
+}
+
+// subOK reports whether a subcomponent's logic is functional. Classic-mode
+// components have no subs and are always whole.
+func (b *base) subOK(sub string) bool {
+	return b.micro == nil || !b.micro.broken[sub]
+}
+
+// SubFail implements proc.Microrebootable: the named subcomponent's logic
+// crashed. The container shell keeps serving (pings, beacons, unrelated
+// subs), notices after the assertion latency and self-reports to FD,
+// re-reporting until a recovery action repairs the sub.
+func (b *base) SubFail(sub string) {
+	if b.micro == nil {
+		return
+	}
+	b.micro.broken[sub] = true
+	b.scheduleSubReport(sub, b.params.Micro.SubFaultDetect)
+}
+
+func (b *base) scheduleSubReport(sub string, after time.Duration) {
+	ctx := b.micro.ctx
+	ctx.After(after, func() {
+		if b.micro == nil || !b.micro.broken[sub] {
+			return
+		}
+		ctx.Send(xmlcmd.NewEvent(ctx.Name(), xmlcmd.AddrFD, b.nextSeq(),
+			"subfault", proc.SubName(ctx.Name(), sub)))
+		b.scheduleSubReport(sub, b.params.Micro.SubReReport)
+	})
+}
+
+// SubMicroreboot implements proc.Microrebootable: discard the sub's logic
+// state and reattach it to the store. The manager marks the sub ready
+// after the returned re-init delay.
+func (b *base) SubMicroreboot(sub string) time.Duration {
+	if b.micro == nil {
+		return 0
+	}
+	delete(b.micro.broken, sub)
+	if fn := b.micro.reattach[sub]; fn != nil {
+		fn()
+	}
+	return b.params.Micro.MicrorebootTime
+}
+
+// trackTarget is str's externalized antenna target.
+type trackTarget struct {
+	az, el float64
+}
+
+// trackCodec encodes a trackTarget as two fixed-width floats.
+func trackCodec() store.Codec[trackTarget] {
+	return store.Codec[trackTarget]{
+		Append: func(dst []byte, v trackTarget) []byte {
+			dst = store.AppendFloat64(dst, v.az)
+			return store.AppendFloat64(dst, v.el)
+		},
+		Parse: func(src []byte) (trackTarget, bool) {
+			az, rest, ok := store.ParseFloat64(src)
+			if !ok {
+				return trackTarget{}, false
+			}
+			el, rest, ok := store.ParseFloat64(rest)
+			if !ok || len(rest) != 0 {
+				return trackTarget{}, false
+			}
+			return trackTarget{az: az, el: el}, true
+		},
+	}
+}
+
+// sessionCell is the typed view of the shared session epoch.
+type sessionCell = store.Cell[int64]
+
+// acquireSessionCell leases the shared ses↔str session epoch. Both peers
+// use the same co-ownership token: either can reattach while the other
+// lives, and the epoch dies only when both stay dead for a full TTL.
+func acquireSessionCell(ctx proc.Context, b *base) (*sessionCell, bool) {
+	mp := b.params.Micro
+	l, err := mp.Store.Acquire(KeySessionEpoch, "ses+str", mp.SessionTTL)
+	if err != nil {
+		return nil, false
+	}
+	b.microLease(ctx, l)
+	return store.NewCell(l, store.Int64Codec()), true
+}

@@ -87,6 +87,11 @@ type Params struct {
 
 	// CarrierHz is the downlink the rtu keeps tuned (Doppler-corrected).
 	CarrierHz float64
+
+	// Micro enables the microrebootable decomposition on a crash-only
+	// store (see micro.go); nil means the classic monolithic-state
+	// components.
+	Micro *MicroParams
 }
 
 // DefaultParams returns the calibrated parameter set. The epoch anchors

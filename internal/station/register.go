@@ -83,5 +83,16 @@ func Register(mgr *proc.Manager, p Params, layout Layout) ([]string, error) {
 	if err := mgr.Register(STR, NewSTR(p)); err != nil {
 		return nil, err
 	}
+	if p.Micro != nil {
+		if layout != Split {
+			return nil, fmt.Errorf("station: micro mode requires the split layout, got %s", layout)
+		}
+		if p.Micro.Store == nil {
+			return nil, fmt.Errorf("station: micro mode requires a store")
+		}
+		if err := RegisterSubs(mgr); err != nil {
+			return nil, err
+		}
+	}
 	return names, nil
 }

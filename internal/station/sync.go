@@ -32,10 +32,32 @@ type syncCore struct {
 	peerEpoch  int64 // proposal buffered while still initialising
 	inWaitSync bool
 	synced     bool
+
+	// session is the externalized epoch cell in micro mode; nil classic.
+	session *sessionCell
 }
 
-// enterWaitSync is called when base initialisation finishes.
+// enterWaitSync is called when base initialisation finishes. In micro mode
+// the session epoch lives in the crash-only store: if a live epoch
+// survives there, this incarnation reattaches to it without any handshake
+// — the running peer is never disturbed, so the induced correlated
+// failure (restart one, crash the other) disappears. The handshake only
+// runs when no epoch survives (both peers dead past the lease TTL), and
+// its agreed epoch is persisted for the next restart.
 func (s *syncCore) enterWaitSync(ctx proc.Context) {
+	if s.params.Micro != nil && s.session == nil {
+		if cell, ok := acquireSessionCell(ctx, &s.base); ok {
+			s.session = cell
+		}
+	}
+	if s.session != nil {
+		if epoch, ok := s.session.Load(); ok {
+			s.myEpoch = epoch
+			s.synced = true
+			ctx.After(s.params.Micro.ReattachSettle, func() { s.becomeReady(ctx) })
+			return
+		}
+	}
 	s.inWaitSync = true
 	s.myEpoch = ctx.Rand().Int63()
 	if s.peerEpoch != 0 {
@@ -66,11 +88,25 @@ func (s *syncCore) retransmitLoop(ctx proc.Context) {
 }
 
 // agree adopts the winning epoch and schedules readiness after the settle
-// time.
+// time. In micro mode the agreed epoch is persisted so future restarts
+// reattach instead of handshaking.
 func (s *syncCore) agree(ctx proc.Context, epoch int64) {
 	s.myEpoch = epoch
 	s.synced = true
+	if s.session != nil {
+		_ = s.session.Save(epoch)
+	}
 	ctx.After(s.params.SyncSettle, func() { s.becomeReady(ctx) })
+}
+
+// reloadEpoch is the cache subcomponent's reattach hook: re-read the
+// session epoch from the store after a microreboot dropped the logic copy.
+func (s *syncCore) reloadEpoch() {
+	if s.session != nil {
+		if e, ok := s.session.Load(); ok {
+			s.myEpoch = e
+		}
+	}
 }
 
 // handleSync processes a peer proposal.

@@ -1,0 +1,40 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/clock"
+	"github.com/recursive-restart/mercury/internal/sim"
+)
+
+// FuzzStoreSnapshot feeds arbitrary bytes to Restore — it must never panic
+// — and checks that any accepted input round-trips byte-identically:
+// Restore → Snapshot → Restore → Snapshot is a fixed point.
+func FuzzStoreSnapshot(f *testing.F) {
+	seed, _ := simStore(0)
+	l, _ := seed.Acquire("session/epoch", "ses+str", time.Hour)
+	l.Put([]byte("1234"))
+	l2, _ := seed.Acquire("track/str", "str", time.Hour)
+	l2.Put([]byte{0xff, 0x00, 0x41})
+	f.Add(seed.Snapshot())
+	f.Add([]byte(snapMagic))
+	f.Add([]byte("MSTO1\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New(clock.Sim{K: sim.New(1)}, Options{})
+		if err := s.Restore(data); err != nil {
+			return
+		}
+		snap := s.Snapshot()
+		s2 := New(clock.Sim{K: sim.New(1)}, Options{})
+		if err := s2.Restore(snap); err != nil {
+			t.Fatalf("re-restore of own snapshot failed: %v", err)
+		}
+		if !bytes.Equal(snap, s2.Snapshot()) {
+			t.Fatal("snapshot round trip not a fixed point")
+		}
+	})
+}

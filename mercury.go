@@ -33,6 +33,7 @@ import (
 	"github.com/recursive-restart/mercury/internal/proc"
 	"github.com/recursive-restart/mercury/internal/sim"
 	"github.com/recursive-restart/mercury/internal/station"
+	"github.com/recursive-restart/mercury/internal/store"
 	"github.com/recursive-restart/mercury/internal/trace"
 	"github.com/recursive-restart/mercury/internal/xmlcmd"
 )
@@ -96,6 +97,12 @@ type Config struct {
 	// FDParams / RECParams override detector and recoverer settings.
 	FDParams  *core.FDParams
 	RECParams *core.RECParams
+	// Micro enables the microrebootable decomposition: session/track state
+	// moves into a crash-only store and the fat components gain
+	// individually restartable subcomponents (ses.cache, str.track, ...).
+	// Implied by the m-variant tree names ("IIIm", "IVm"); requires the
+	// split layout.
+	Micro bool
 	// Chaos, when non-nil, degrades every simulated bus link with the
 	// profile's loss/duplication/jitter from construction onward. Most
 	// experiments instead call System.SetChaos after Boot so a lossy
@@ -135,6 +142,8 @@ type System struct {
 	REC       *core.RECHandle
 	Collector *station.Collector
 	Params    station.Params
+	// Store is the crash-only state store; nil unless micro mode is on.
+	Store *store.Store
 
 	components []string
 	booted     bool
@@ -190,6 +199,29 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Micro mode: externalize session/track state into a crash-only store
+	// and grow the sub-process restart level onto the split trees. The
+	// m-variant trees exist only in micro mode, so classic systems see the
+	// exact historical tree set.
+	micro := cfg.Micro || strings.HasSuffix(cfg.TreeName, "m")
+	var st *store.Store
+	if micro {
+		st = store.New(clk, store.Options{SweepPeriod: 5 * time.Second})
+		if params.Micro == nil {
+			params.Micro = station.DefaultMicroParams(st)
+		} else if params.Micro.Store == nil {
+			params.Micro.Store = st
+		}
+		for _, base := range []string{"III", "IV"} {
+			mt, err := core.SubAugment(trees[base], base+"m", station.MicroSubs())
+			if err != nil {
+				return nil, fmt.Errorf("tree %sm: %w", base, err)
+			}
+			trees[base+"m"] = mt
+		}
+	}
+
 	tree, ok := trees[cfg.TreeName]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTree, cfg.TreeName)
@@ -220,6 +252,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Tree:       tree,
 		Collector:  coll,
 		Params:     params,
+		Store:      st,
 		components: comps,
 	}
 
@@ -265,7 +298,8 @@ func NewSystem(cfg Config) (*System, error) {
 	// complete when every component serves and no fault is active.
 	mgr.OnDown(func(string, string) { sys.armed = true })
 	mgr.OnReady(func(string) {
-		if sys.armed && mgr.AllServing(sys.components...) && board.ActiveCount() == 0 {
+		if sys.armed && mgr.AllServing(sys.components...) && mgr.AllSubsServing() &&
+			board.ActiveCount() == 0 {
 			sys.armed = false
 			log.Add(clk.Now(), trace.SystemRecovered, "", "", "all components serving")
 		}
