@@ -9,6 +9,7 @@ import (
 
 	"github.com/recursive-restart/mercury/internal/bus"
 	"github.com/recursive-restart/mercury/internal/core"
+	"github.com/recursive-restart/mercury/internal/load"
 	"github.com/recursive-restart/mercury/internal/mp"
 	"github.com/recursive-restart/mercury/internal/obs"
 	"github.com/recursive-restart/mercury/internal/proc"
@@ -59,6 +60,7 @@ func startObs(addr string, view *stationView) (*obsServer, error) {
 	reg := obs.NewRegistry()
 	bus.RegisterMetrics(reg)
 	core.RegisterMetrics(reg)
+	load.RegisterMetrics(reg)
 	proc.RegisterMetrics(reg)
 	mp.RegisterMetrics(reg)
 	sim.RegisterMetrics(reg)

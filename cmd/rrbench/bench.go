@@ -44,6 +44,20 @@ type perfRecord struct {
 	Class        string  `json:"class,omitempty"`
 	MTTRSeconds  float64 `json:"mttr_s,omitempty"`
 	Availability float64 `json:"availability,omitempty"`
+
+	// Request-plane fields, present only on `rrbench requests -bench`
+	// records: the substrate-throughput record carries requests/s and
+	// allocs/request; the per-mode campaign records carry the user-harm
+	// scoring (failed requests, goodput, downtime) plus latency quantiles.
+	RequestsPerSec      float64 `json:"requests_per_sec,omitempty"`
+	AllocsPerRequest    float64 `json:"allocs_per_request,omitempty"`
+	GoodputPerSec       float64 `json:"goodput_per_sec,omitempty"`
+	FailedRequests      uint64  `json:"failed_requests,omitempty"`
+	FailedPerEpisode    float64 `json:"failed_per_episode,omitempty"`
+	DowntimePerEpisodeS float64 `json:"user_downtime_per_episode_s,omitempty"`
+	P50S                float64 `json:"p50_s,omitempty"`
+	P99S                float64 `json:"p99_s,omitempty"`
+	P999S               float64 `json:"p999_s,omitempty"`
 }
 
 // perfRun is one rrbench -bench invocation.

@@ -21,6 +21,10 @@
 //	rrbench fleet -stations 1000              # sharded constellation campaign
 //	rrbench fleet -verify -stations 12 -cores 4   # byte-identity across core counts
 //	rrbench fleet -bench -stations 1000       # cores-scaling sweep → BENCH_RESULTS.json
+//	rrbench requests                          # user-harm re-scoring (microreboot vs restart)
+//	rrbench requests -bench                   # request-plane throughput + harm records
+//	rrbench requests -verify                  # parallel byte-identity of the campaign
+//	rrbench requests -tcp -shards 2           # open-loop pump over the real TCP fabric
 //
 // Trials fan out across a worker pool (-parallel, default one worker per
 // CPU); results are folded in seed order, so every measured number is
@@ -44,49 +48,49 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"github.com/recursive-restart/mercury/internal/experiment"
 	"github.com/recursive-restart/mercury/internal/metrics"
 )
 
+// subcommands maps each named mode to its runner; each owns its own flag
+// set. The classic flag CLI (rrbench -all, -table N, …) handles everything
+// else.
+var subcommands = map[string]func([]string) error{
+	"chaos":       runChaos,
+	"fleet":       runFleet,
+	"microreboot": runMicroreboot,
+	"requests":    runRequests,
+	"shardchaos":  runShardChaos,
+	"wire":        runWire,
+}
+
+// usageLine is the one-line map of the whole CLI, printed when rrbench is
+// invoked with no arguments or an unknown subcommand.
+func usageLine() string {
+	return "usage: rrbench {chaos|fleet|microreboot|requests|shardchaos|wire} [flags] | " +
+		"rrbench -all|-table N|-fig N|-headline|-soak|-rejuv|-sweep|-manual|-bench [flags]"
+}
+
 func main() {
-	// Subcommand dispatch ahead of the classic flag CLI: `rrbench chaos`
-	// and `rrbench wire` own their own flag sets.
-	if len(os.Args) > 1 && os.Args[1] == "chaos" {
-		if err := runChaos(os.Args[2:]); err != nil {
+	// Subcommand dispatch ahead of the classic flag CLI.
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		cmd, ok := subcommands[os.Args[1]]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rrbench: unknown subcommand %q\n%s\n", os.Args[1], usageLine())
+			os.Exit(2)
+		}
+		if err := cmd(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "rrbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if len(os.Args) > 1 && os.Args[1] == "wire" {
-		if err := runWire(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "rrbench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if len(os.Args) > 1 && os.Args[1] == "microreboot" {
-		if err := runMicroreboot(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "rrbench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if len(os.Args) > 1 && os.Args[1] == "shardchaos" {
-		if err := runShardChaos(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "rrbench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if len(os.Args) > 1 && os.Args[1] == "fleet" {
-		if err := runFleet(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "rrbench:", err)
-			os.Exit(1)
-		}
-		return
+	if len(os.Args) == 1 {
+		fmt.Fprintln(os.Stderr, usageLine())
+		os.Exit(2)
 	}
 	var (
 		table      = flag.Int("table", 0, "regenerate table N (1-4)")

@@ -17,6 +17,7 @@ import (
 
 	"github.com/recursive-restart/mercury/internal/clock"
 	"github.com/recursive-restart/mercury/internal/proc"
+	"github.com/recursive-restart/mercury/internal/sim"
 	"github.com/recursive-restart/mercury/internal/xmlcmd"
 )
 
@@ -45,16 +46,46 @@ type Sim struct {
 	mgr    *proc.Manager
 	broker string
 
+	// kern is the underlying event kernel when clk is the simulation
+	// clock; it unlocks the int64-nanosecond fast paths (hop queue). Nil
+	// under other clocks, where the bus falls back to per-hop events.
+	kern *sim.Kernel
+
 	// Latency is the one-hop propagation + processing delay.
 	Latency time.Duration
 
 	// direct holds addresses joined by dedicated links; any message whose
-	// From and To are both direct bypasses the broker.
-	direct map[string]bool
+	// From and To are both direct bypasses the broker. A short slice, not
+	// a map: the membership test sits on the per-Send hot path and the set
+	// is two entries (fd, rec), where a linear compare beats a string hash.
+	direct []string
+
+	// brokerRef caches a stable handle for the broker's serving check,
+	// resolved lazily once the broker registers.
+	brokerRef proc.Ref
 
 	// pool recycles delivery events so steady-state routing allocates
 	// nothing: each in-flight message holds one event through both hops.
+	// Only chaos-perturbed hops use events; clean hops ride hopQ.
 	pool []*deliveryEvent
+
+	// hopQ is the clean-path hop queue. Every clean hop is due exactly
+	// Latency after it is sent, so due times are non-decreasing in send
+	// order and the queue is FIFO by construction. One self-rescheduling
+	// pump event drains it, which keeps the kernel heap at a handful of
+	// entries no matter how many messages are in flight — at a million
+	// requests/s the heap would otherwise hold tens of thousands of hop
+	// events and heap maintenance dominates the whole simulation.
+	hopQ    []hopEntry
+	hopHead int
+	pumpOn  bool
+	pump    hopPump
+
+	// extraRefs counts in-flight copies of a message beyond the structural
+	// one, minted by chaos duplication. It is consulted only when non-empty,
+	// so the clean fabric's recycling path never touches the map — which is
+	// what keeps message recycling free on the request plane's hot path.
+	extraRefs map[*xmlcmd.Message]int
 
 	// xlink, when installed, intercepts messages addressed to other
 	// stations and queues them for the fleet's epoch exchange (see
@@ -81,22 +112,46 @@ var _ proc.Transport = (*Sim)(nil)
 
 // NewSim builds a simulated bus routed through the named broker component.
 func NewSim(clk clock.Clock, mgr *proc.Manager, broker string) *Sim {
-	return &Sim{
+	b := &Sim{
 		clk:        clk,
 		mgr:        mgr,
 		broker:     broker,
 		Latency:    5 * time.Millisecond,
-		direct:     make(map[string]bool),
 		chaosDrops: make(map[linkKey]uint64),
 		m:          newSimCounters(),
 	}
+	if ks, ok := clk.(clock.Sim); ok {
+		b.kern = ks.K
+	}
+	return b
 }
 
 // AddDirectLink marks two addresses as joined by a dedicated connection
 // that does not transit the broker (the paper's FD↔REC TCP link).
 func (b *Sim) AddDirectLink(a, c string) {
-	b.direct[a] = true
-	b.direct[c] = true
+	for _, n := range []string{a, c} {
+		if !b.isDirect(n) {
+			b.direct = append(b.direct, n)
+		}
+	}
+}
+
+func (b *Sim) isDirect(name string) bool {
+	for _, d := range b.direct {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// brokerServing tests the broker's serving state through the cached
+// process handle, falling back to resolution until the broker registers.
+func (b *Sim) brokerServing() bool {
+	if !b.brokerRef.Valid() {
+		b.brokerRef = b.mgr.Ref(b.broker)
+	}
+	return b.brokerRef.Serving()
 }
 
 // Stats returns a copy of the bus counters.
@@ -104,15 +159,27 @@ func (b *Sim) Stats() Stats { return b.stats }
 
 // Send routes a message. Sends never fail synchronously: loss is silent,
 // exactly like writing into a TCP connection whose peer has crashed.
+//
+// A message with a non-nil Owner is owned by the fabric from this call
+// until the owner's RecycleMessage fires: the sender must not mutate or
+// resend it in between.
 func (b *Sim) Send(m *xmlcmd.Message) {
 	b.stats.Sent++
 	b.m.sent.Inc()
-	if b.xlink != nil && b.xlink.offer(m) {
-		b.stats.CrossSent++
-		b.m.crossSent.Inc()
-		return
+	if b.xlink != nil {
+		// A message crossing shards is delivered on another fabric's
+		// dispatch context; recycling it back into a sender-side pool from
+		// there would race. The pool forfeits the envelope instead.
+		owner := m.Owner
+		m.Owner = nil
+		if b.xlink.offer(m) {
+			b.stats.CrossSent++
+			b.m.crossSent.Inc()
+			return
+		}
+		m.Owner = owner
 	}
-	if b.direct[m.From] && b.direct[m.To] {
+	if b.isDirect(m.From) && b.isDirect(m.To) {
 		b.stats.DirectSent++
 		b.sendHop(m, hopDeliver, m.From, m.To)
 		return
@@ -149,32 +216,115 @@ var _ clock.Event = (*deliveryEvent)(nil)
 
 // Fire advances the message by one hop.
 func (e *deliveryEvent) Fire() {
-	b := e.b
-	if e.hop == hopBroker {
+	b, m, hop := e.b, e.m, e.hop
+	b.release(e)
+	b.hop(m, hop)
+}
+
+// hop lands one physical hop: forward at the broker, or deliver.
+func (b *Sim) hop(m *xmlcmd.Message, hop int) {
+	if hop == hopBroker {
 		// The broker must be accepting traffic to route. A broker that is
 		// starting up or dead loses the message.
-		if !b.mgr.Serving(b.broker) {
+		if !b.brokerServing() {
 			b.stats.DroppedBroker++
 			b.m.dropBroker.Inc()
-			b.release(e)
+			b.finish(m)
 			return
 		}
 		// Second hop, broker → destination, under that link's chaos.
-		// Releasing first keeps the pool at one event per clean in-flight
-		// message: sendHop's acquire pops this same event straight back.
-		m := e.m
-		b.release(e)
 		b.sendHop(m, hopDeliver, b.broker, m.To)
 		return
 	}
-	if b.mgr.Deliver(e.m) {
+	if b.mgr.Deliver(m) {
 		b.stats.Delivered++
 		b.m.delivered.Inc()
 	} else {
 		b.stats.DroppedDest++
 		b.m.dropDest.Inc()
 	}
-	b.release(e)
+	b.finish(m)
+}
+
+// hopEntry is one clean hop queued for delivery at due (kernel
+// nanoseconds — int64 so queue maintenance never touches time.Time).
+type hopEntry struct {
+	m   *xmlcmd.Message
+	due int64
+	hop int32
+}
+
+// queueHop appends a clean hop to the FIFO queue and arms the pump. It
+// refuses (returning false) when no kernel clock is attached, or if the
+// new due time would break the queue's sort order — only possible if
+// Latency is lowered mid-run — so the caller can fall back to a
+// kernel-scheduled event.
+func (b *Sim) queueHop(m *xmlcmd.Message, hop int) bool {
+	if b.kern == nil {
+		return false
+	}
+	due := b.kern.NowNs() + int64(b.Latency)
+	if n := len(b.hopQ); n > b.hopHead && due < b.hopQ[n-1].due {
+		return false
+	}
+	// Reclaim the drained prefix once it dominates the slice, amortised
+	// O(1) per hop, so a queue that never empties does not grow forever.
+	if b.hopHead > 1024 && b.hopHead*2 >= len(b.hopQ) {
+		n := copy(b.hopQ, b.hopQ[b.hopHead:])
+		b.hopQ = b.hopQ[:n]
+		b.hopHead = 0
+	}
+	b.hopQ = append(b.hopQ, hopEntry{m: m, due: due, hop: int32(hop)})
+	if !b.pumpOn {
+		b.pumpOn = true
+		b.pump.b = b
+		b.kern.Schedule(b.Latency, &b.pump)
+	}
+	return true
+}
+
+// hopPump is the queue's single self-rescheduling kernel event: it drains
+// every hop that has come due, then sleeps until the next one.
+type hopPump struct{ b *Sim }
+
+func (p *hopPump) Fire() {
+	b := p.b
+	now := b.kern.NowNs()
+	for b.hopHead < len(b.hopQ) {
+		e := b.hopQ[b.hopHead]
+		if e.due > now {
+			b.kern.Schedule(time.Duration(e.due-now), p)
+			return
+		}
+		b.hopQ[b.hopHead].m = nil
+		b.hopHead++
+		b.hop(e.m, int(e.hop))
+	}
+	b.hopQ = b.hopQ[:0]
+	b.hopHead = 0
+	b.pumpOn = false
+}
+
+// finish retires one in-flight obligation for m: every scheduled hop chain
+// ends in exactly one finish (delivered, dropped at a dead broker or
+// destination, or lost to chaos before scheduling). The last obligation
+// returns the message to its Owner pool. Delivery is synchronous
+// (mgr.Deliver runs the handler inline), so by the time finish runs the
+// receiver is done with the message.
+func (b *Sim) finish(m *xmlcmd.Message) {
+	if len(b.extraRefs) != 0 {
+		if n, ok := b.extraRefs[m]; ok {
+			if n <= 1 {
+				delete(b.extraRefs, m)
+			} else {
+				b.extraRefs[m] = n - 1
+			}
+			return
+		}
+	}
+	if m.Owner != nil {
+		m.Owner.RecycleMessage(m)
+	}
 }
 
 func (b *Sim) acquire(m *xmlcmd.Message, hop int) *deliveryEvent {

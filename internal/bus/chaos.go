@@ -101,7 +101,12 @@ func (b *Sim) chaosFor(from, to string) *ChaosProfile {
 func (b *Sim) sendHop(m *xmlcmd.Message, hop int, from, to string) {
 	p := b.chaosFor(from, to)
 	if !p.active() {
-		b.clk.Schedule(b.Latency, b.acquire(m, hop))
+		// Clean hops ride the FIFO hop queue (one kernel event total);
+		// a pooled per-hop event is the fallback if the queue's sort
+		// invariant would break (or no kernel clock is attached).
+		if !b.queueHop(m, hop) {
+			b.clk.Schedule(b.Latency, b.acquire(m, hop))
+		}
 		return
 	}
 	rng := b.mgr.Rand()
@@ -111,6 +116,7 @@ func (b *Sim) sendHop(m *xmlcmd.Message, hop int, from, to string) {
 		b.stats.Duplicated++
 		b.m.dup.Inc()
 	}
+	scheduled := 0
 	for i := 0; i < copies; i++ {
 		if p.Loss > 0 && rng.Float64() < p.Loss {
 			b.stats.DroppedChaos++
@@ -123,5 +129,19 @@ func (b *Sim) sendHop(m *xmlcmd.Message, hop int, from, to string) {
 			d += p.Jitter.Sample(rng)
 		}
 		b.clk.Schedule(d, b.acquire(m, hop))
+		scheduled++
+	}
+	// Message-recycling bookkeeping: sendHop was handed one in-flight
+	// obligation for m and minted `scheduled` hop chains. Zero means the
+	// message dies here; two means an extra obligation outlives this call
+	// and must be recorded so only the final finish recycles the envelope.
+	switch scheduled {
+	case 0:
+		b.finish(m)
+	case 2:
+		if b.extraRefs == nil {
+			b.extraRefs = make(map[*xmlcmd.Message]int)
+		}
+		b.extraRefs[m]++
 	}
 }

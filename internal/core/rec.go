@@ -89,8 +89,8 @@ type episode struct {
 	awaitingVerdict bool      // restart completed; watching for persistence
 	lastReadyAt     time.Time // when the restart action finished
 	pendingReady    map[string]bool
-	observed        bool      // outcome already reported to a learning oracle
-	startedAt       time.Time // when the current attempt's report arrived
+	observed        bool        // outcome already reported to a learning oracle
+	startedAt       time.Time   // when the current attempt's report arrived
 	charged         []time.Time // budget charges accrued by this episode, refunded on cure
 }
 

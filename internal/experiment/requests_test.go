@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// testRequestConfig is a small-but-meaningful campaign: enough load and
+// episodes that recovery granularity separates, small enough for CI.
+func testRequestConfig() RequestConfig {
+	cfg := DefaultRequestConfig()
+	cfg.Trials = 3
+	cfg.Rate = 1000
+	cfg.Users = 1 << 16
+	cfg.Episodes = 2
+	cfg.Gap = 15 * time.Second
+	cfg.Warmup = 2 * time.Second
+	return cfg
+}
+
+// TestRequestHarmScoring pins the campaign's headline: scored in failed
+// user requests, microreboot beats whole-process restart by at least 2× —
+// the per-episode outage window shrinks from a full process restart (plus
+// the resync co-crash of the peer) to one subcomponent's reboot, and an
+// open-loop arrival stream converts that window directly into harm.
+func TestRequestHarmScoring(t *testing.T) {
+	cfg := testRequestConfig()
+	cells, err := RequestSweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string]*RequestCellResult{}
+	for _, c := range cells {
+		byMode[c.Mode] = c
+		if c.Issued == 0 || c.OK == 0 {
+			t.Fatalf("mode %s saw no traffic: %+v", c.Mode, c)
+		}
+		if c.GoodputPerSec <= 0 {
+			t.Fatalf("mode %s has no goodput", c.Mode)
+		}
+		if c.Failed == 0 {
+			t.Fatalf("mode %s: fault episodes harmed no requests — campaign is not measuring outages", c.Mode)
+		}
+	}
+	micro, process := byMode["microreboot"], byMode["process"]
+	if micro == nil || process == nil {
+		t.Fatalf("missing modes in sweep: %v", byMode)
+	}
+	if 2*micro.FailedPerEpisode > process.FailedPerEpisode {
+		t.Fatalf("microreboot does not beat process restart 2x on failed requests: micro=%.1f process=%.1f",
+			micro.FailedPerEpisode, process.FailedPerEpisode)
+	}
+	if micro.DowntimePerEpisode >= process.DowntimePerEpisode {
+		t.Fatalf("microreboot user-downtime %.1fs not below process %.1fs",
+			micro.DowntimePerEpisode, process.DowntimePerEpisode)
+	}
+}
+
+// TestRequestParallelIdentity: the campaign is bit-identical between
+// sequential and parallel runs (stats, quantiles and every histogram
+// bucket), the determinism contract every other experiment in this repo
+// holds.
+func TestRequestParallelIdentity(t *testing.T) {
+	cfg := testRequestConfig()
+	cfg.Trials = 4
+	cfg.Episodes = 1
+	cfg.Gap = 10 * time.Second
+	if err := VerifyRequests(context.Background(), cfg, 4); err != nil {
+		t.Fatal(err)
+	}
+}

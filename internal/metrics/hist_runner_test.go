@@ -1,0 +1,70 @@
+package metrics_test
+
+// The merge-under-runner-folding test lives in an external test package:
+// internal/runner imports internal/metrics, so the in-package tests cannot
+// import the runner without a cycle. Hist is a comparable value type, so
+// == still checks bit-identity from out here.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/recursive-restart/mercury/internal/metrics"
+	"github.com/recursive-restart/mercury/internal/runner"
+)
+
+// trialHist is what one worker-local trial records: a deterministic
+// function of the trial seed, like every real campaign trial.
+func trialHist(seed int64, n int) metrics.Hist {
+	rng := rand.New(rand.NewSource(seed))
+	var h metrics.Hist
+	for i := 0; i < n; i++ {
+		h.Record(time.Duration(rng.Int63n(int64(2 * time.Second))))
+	}
+	return h
+}
+
+// TestHistRunnerFoldIdentity runs the same trial campaign at several
+// worker counts and checks the seed-ordered fold of per-trial histograms
+// is bit-identical — the guarantee every parallel campaign leans on — and
+// that the parallel fold equals a plain sequential recording.
+func TestHistRunnerFoldIdentity(t *testing.T) {
+	const trials = 24
+	cfg := runner.Config{BaseSeed: 1234}
+
+	fold := func(workers int) metrics.Hist {
+		c := cfg
+		c.Workers = workers
+		hs, err := runner.Run(context.Background(), c, trials,
+			func(_ context.Context, trial int, seed int64) (metrics.Hist, error) {
+				return trialHist(seed, 500+trial), nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var total metrics.Hist
+		for i := range hs {
+			total.Merge(&hs[i])
+		}
+		return total
+	}
+
+	seq := fold(1)
+	for _, w := range []int{2, 4, 7} {
+		if par := fold(w); par != seq {
+			t.Fatalf("fold with %d workers differs from sequential", w)
+		}
+	}
+
+	// Sequential ground truth without the runner at all.
+	var direct metrics.Hist
+	for i := 0; i < trials; i++ {
+		h := trialHist(cfg.SeedFor(i), 500+i)
+		direct.Merge(&h)
+	}
+	if direct != seq {
+		t.Fatal("runner fold differs from direct sequential recording")
+	}
+}

@@ -197,6 +197,23 @@ func (m *Manager) Register(name string, factory func() Handler) error {
 	return nil
 }
 
+// Ref is a stable handle to one registered process. Process records are
+// created once at Register and mutated in place ever after, so a Ref lets
+// per-message hot paths (the bus's broker-serving check) test state without
+// a map lookup. The zero Ref reports not serving.
+type Ref struct{ p *Process }
+
+// Ref resolves a handle for name (zero Ref if not registered).
+func (m *Manager) Ref(name string) Ref { return Ref{p: m.procs[name]} }
+
+// Valid reports whether the handle points at a registered process.
+func (r Ref) Valid() bool { return r.p != nil }
+
+// Serving mirrors Manager.Serving for the referenced process.
+func (r Ref) Serving() bool {
+	return r.p != nil && r.p.state == Running && !r.p.silenced
+}
+
 // Names returns registered process names in registration order.
 func (m *Manager) Names() []string {
 	out := make([]string, len(m.order))
@@ -392,8 +409,10 @@ func (m *Manager) AllServing(names ...string) bool {
 // the message was consumed; dead or silenced destinations silently drop it
 // (fail-silent semantics).
 func (m *Manager) Deliver(msg *xmlcmd.Message) bool {
+	// Inlined Accepting: Deliver is the fabric's per-message hot path, and
+	// one map lookup is half the cost of two.
 	p, ok := m.procs[msg.To]
-	if !ok || !m.Accepting(msg.To) {
+	if !ok || (p.state != Running && p.state != Starting) || p.silenced {
 		return false
 	}
 	p.handler.Receive(p.ctx, msg)

@@ -112,6 +112,11 @@ func NewAt(seed int64, start time.Time) *Kernel {
 // Now returns the current virtual time.
 func (k *Kernel) Now() time.Time { return k.base.Add(time.Duration(k.now)) }
 
+// NowNs returns the current virtual time as nanoseconds since the kernel's
+// base instant: the conversion-free form of Now for hot paths that only
+// compare or subtract instants.
+func (k *Kernel) NowNs() int64 { return k.now }
+
 // Rand returns the kernel's deterministic random source. All simulated
 // randomness (failure laws, startup jitter, oracle coin flips) must come
 // from here to keep runs reproducible.

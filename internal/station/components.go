@@ -180,7 +180,7 @@ func (c *strComponent) Receive(ctx proc.Context, m *xmlcmd.Message) {
 		if c.track != nil {
 			_ = c.track.Save(trackTarget{az: az, el: el})
 		}
-		ctx.Send(xmlcmd.NewAck(STR, m.From, c.nextSeq(), m.Seq, true, ""))
+		ctx.Send(c.pool.newAck(STR, m.From, c.nextSeq(), m.Seq, true, ""))
 	default:
 		c.handleCommon(ctx, m)
 	}
@@ -222,9 +222,13 @@ func (c *rtuComponent) Receive(ctx proc.Context, m *xmlcmd.Message) {
 			return
 		}
 		c.lastFreqHz = f
-		ctx.Send(xmlcmd.NewCommand(RTU, c.front, c.nextSeq(), "radio-tune",
-			"freqHz", formatFloat(f)))
-		ctx.Send(xmlcmd.NewAck(RTU, m.From, c.nextSeq(), m.Seq, true, ""))
+		// Forward the wire string as-is: it parsed, and re-formatting the
+		// parsed float reproduces the same bytes (round-trip exactness), so
+		// the old formatFloat here was pure allocation.
+		v, _ := m.Command.Param("freqHz")
+		ctx.Send(c.pool.newCommand1(RTU, c.front, c.nextSeq(), "radio-tune",
+			"freqHz", v))
+		ctx.Send(c.pool.newAck(RTU, m.From, c.nextSeq(), m.Seq, true, ""))
 	default:
 		c.handleCommon(ctx, m)
 	}
@@ -391,7 +395,7 @@ func (c *pbcomComponent) handleConnect(ctx proc.Context, m *xmlcmd.Message) {
 		}
 	}
 	c.fedrInc = inc
-	ctx.Send(xmlcmd.NewAck(Pbcom, m.From, c.nextSeq(), m.Seq, true, ""))
+	ctx.Send(c.pool.newAck(Pbcom, m.From, c.nextSeq(), m.Seq, true, ""))
 }
 
 func (c *pbcomComponent) applyTune(ctx proc.Context, m *xmlcmd.Message) {
@@ -402,7 +406,7 @@ func (c *pbcomComponent) applyTune(ctx proc.Context, m *xmlcmd.Message) {
 	}
 	if err := c.xcvr.BeginTune(f); err != nil {
 		c.warnings++
-		ctx.Send(xmlcmd.NewAck(Pbcom, m.From, c.nextSeq(), m.Seq, false, err.Error()))
+		ctx.Send(c.pool.newAck(Pbcom, m.From, c.nextSeq(), m.Seq, false, err.Error()))
 		return
 	}
 	ctx.After(c.params.TuneTime, func() {
@@ -414,7 +418,7 @@ func (c *pbcomComponent) applyTune(ctx proc.Context, m *xmlcmd.Message) {
 		ctx.Send(xmlcmd.NewTelemetry(Pbcom, Ops, c.nextSeq(), "radio_locked",
 			locked, ctx.Now()))
 	})
-	ctx.Send(xmlcmd.NewAck(Pbcom, m.From, c.nextSeq(), m.Seq, true, ""))
+	ctx.Send(c.pool.newAck(Pbcom, m.From, c.nextSeq(), m.Seq, true, ""))
 }
 
 // fedrComponent is the front-end driver-radio after the split: the buggy,
@@ -486,15 +490,17 @@ func (c *fedrComponent) Receive(ctx proc.Context, m *xmlcmd.Message) {
 		}
 	case xmlcmd.KindCommand:
 		if m.Command.Name == "radio-tune" && c.ready && c.subOK(SubSession) {
-			// Translate and forward to the port proxy.
-			f, err := m.Command.FloatParam("freqHz")
-			if err != nil {
+			// Translate and forward to the port proxy, reusing the incoming
+			// wire string (see rtu: round-trip exactness makes this
+			// byte-identical to re-formatting).
+			if _, err := m.Command.FloatParam("freqHz"); err != nil {
 				c.warnings++
 				return
 			}
-			ctx.Send(xmlcmd.NewCommand(Fedr, Pbcom, c.nextSeq(), "radio-tune",
-				"freqHz", formatFloat(f)))
-			ctx.Send(xmlcmd.NewAck(Fedr, m.From, c.nextSeq(), m.Seq, true, ""))
+			v, _ := m.Command.Param("freqHz")
+			ctx.Send(c.pool.newCommand1(Fedr, Pbcom, c.nextSeq(), "radio-tune",
+				"freqHz", v))
+			ctx.Send(c.pool.newAck(Fedr, m.From, c.nextSeq(), m.Seq, true, ""))
 		}
 	default:
 		c.handleCommon(ctx, m)

@@ -231,6 +231,7 @@ func DecodeInto(b []byte, m *Message) error {
 	}
 	m.XMLName = xml.Name{Local: "message"}
 	m.From, m.To, m.Seq = "", "", 0
+	m.Owner = nil
 	m.Ping, m.Pong, m.Command, m.Ack = nil, nil, nil, nil
 	m.Telemetry, m.Event, m.Sync, m.SyncAck, m.Health = nil, nil, nil, nil, nil
 	d := decoder{b: b, m: m}

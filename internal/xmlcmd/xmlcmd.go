@@ -105,9 +105,28 @@ type Message struct {
 	SyncAck   *SyncAck   `xml:"syncack"`
 	Health    *Health    `xml:"health"`
 
+	// Owner, when non-nil, is handed the message back by the simulated
+	// fabric once its last in-flight copy has been delivered or dropped
+	// (see bus.Sim). It lets senders pool envelopes and bodies across the
+	// fabric boundary instead of allocating per send. Never encoded; the
+	// TCP transport ignores it (frames are copied onto the wire, so the
+	// sender may reuse the message as soon as Send returns there).
+	Owner Recycler `xml:"-"`
+
 	// scratch holds reusable body structs for DecodeInto (invisible to
 	// encoding/xml). See codec.go.
 	scratch *decodeScratch
+}
+
+// Recycler receives messages back from a transport at the end of their
+// delivery lifecycle. Implementations are called on the transport's
+// dispatch context with the message no longer referenced by the fabric;
+// they may clear and reuse it. A recycler must tolerate messages it did
+// not mint (drop them) — under chaos duplication the fabric guarantees at
+// most one recycle per message, but delivery and recycle order is
+// unspecified.
+type Recycler interface {
+	RecycleMessage(m *Message)
 }
 
 // Ping is an application-level liveness probe ("are you alive?").
