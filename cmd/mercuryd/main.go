@@ -63,6 +63,9 @@ func main() {
 		multiproc = flag.Bool("multiproc", false, "run every component as its own OS process (per-JVM fidelity)")
 		busShards = flag.Int("bus-shards", 1, "broker shards for the mbus fabric (in-process runtime only)")
 		micro     = flag.Bool("micro", false, "microrebootable components on the crash-only store (in-process runtime only)")
+		oracle    = flag.String("oracle", "", "recovery policy: escalating (default), v2 (cost-aware), fixed-micro, fixed-process, fixed-ckpt")
+		ckptIv    = flag.Duration("ckpt-interval", 0, "checkpoint snapshot period (micro mode; 0 = default 10s when the checkpoint plane is on)")
+		estWindow = flag.Int("estimator-window", 0, "cost-aware oracle EWMA window in samples (0 = default 8)")
 		obsAddr   = flag.String("obs", "", "HTTP address for the observability endpoints (/metrics, /healthz, /tree); empty = disabled")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
@@ -83,6 +86,9 @@ func main() {
 		multiproc: *multiproc,
 		busShards: *busShards,
 		micro:     *micro,
+		oracle:    *oracle,
+		ckptIv:    *ckptIv,
+		estWindow: *estWindow,
 		obsAddr:   *obsAddr,
 	}
 	if err := run(opts); err != nil {
@@ -103,6 +109,9 @@ type options struct {
 	multiproc    bool
 	busShards    int
 	micro        bool
+	oracle       string
+	ckptIv       time.Duration
+	estWindow    int
 	obsAddr      string
 }
 
@@ -144,6 +153,9 @@ func run(opts options) error {
 		if opts.micro || strings.HasSuffix(opts.tree, "m") {
 			return fmt.Errorf("-micro requires the in-process runtime; drop -multiproc")
 		}
+		if opts.oracle != "" || opts.ckptIv > 0 {
+			return fmt.Errorf("-oracle/-ckpt-interval require the in-process runtime; drop -multiproc")
+		}
 		sup, err := mp.StartSupervisor(mp.SupervisorConfig{
 			ListenAddr: opts.listen,
 			Scale:      opts.scale,
@@ -156,12 +168,15 @@ func run(opts options) error {
 		view = supervisorView(sup, opts.tree)
 	} else {
 		node, err := rt.StartNode(rt.NodeConfig{
-			ListenAddr: opts.listen,
-			Scale:      opts.scale,
-			TreeName:   opts.tree,
-			Seed:       opts.seed,
-			BusShards:  opts.busShards,
-			Micro:      opts.micro,
+			ListenAddr:      opts.listen,
+			Scale:           opts.scale,
+			TreeName:        opts.tree,
+			Seed:            opts.seed,
+			BusShards:       opts.busShards,
+			Micro:           opts.micro,
+			OracleName:      opts.oracle,
+			CkptInterval:    opts.ckptIv,
+			EstimatorWindow: opts.estWindow,
 		})
 		if err != nil {
 			return err

@@ -25,6 +25,9 @@
 //	rrbench requests -bench                   # request-plane throughput + harm records
 //	rrbench requests -verify                  # parallel byte-identity of the campaign
 //	rrbench requests -tcp -shards 2           # open-loop pump over the real TCP fabric
+//	rrbench oracle                            # recovery-policy choice: cost-aware v2 vs fixed
+//	rrbench oracle -validate -trees 1000      # analytic-vs-simulated random-tree ranking
+//	rrbench oracle -online                    # soak + online tree-transformation proposal
 //
 // Trials fan out across a worker pool (-parallel, default one worker per
 // CPU); results are folded in seed order, so every measured number is
@@ -62,6 +65,7 @@ var subcommands = map[string]func([]string) error{
 	"chaos":       runChaos,
 	"fleet":       runFleet,
 	"microreboot": runMicroreboot,
+	"oracle":      runOracle,
 	"requests":    runRequests,
 	"shardchaos":  runShardChaos,
 	"wire":        runWire,
@@ -70,7 +74,7 @@ var subcommands = map[string]func([]string) error{
 // usageLine is the one-line map of the whole CLI, printed when rrbench is
 // invoked with no arguments or an unknown subcommand.
 func usageLine() string {
-	return "usage: rrbench {chaos|fleet|microreboot|requests|shardchaos|wire} [flags] | " +
+	return "usage: rrbench {chaos|fleet|microreboot|oracle|requests|shardchaos|wire} [flags] | " +
 		"rrbench -all|-table N|-fig N|-headline|-soak|-rejuv|-sweep|-manual|-bench [flags]"
 }
 

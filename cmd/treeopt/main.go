@@ -4,16 +4,26 @@
 // transformations and prints the optimized tree next to the analytic
 // expected MTTR of the paper's hand-derived trees.
 //
+// With -online it becomes the *online* optimizer: instead of the static
+// paper mix, it soaks a live simulated station under organic failures,
+// mines the measured recovery episodes into an empirical fault mix, and
+// proposes transformations of the tree actually deployed.
+//
 //	treeopt -model escalating
 //	treeopt -model faulty -p 0.3
+//	treeopt -online                       # soak tree II', propose from episodes
+//	treeopt -online -tree III -horizon 8h
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/recursive-restart/mercury/internal/core"
+	"github.com/recursive-restart/mercury/internal/experiment"
 	"github.com/recursive-restart/mercury/internal/station"
 )
 
@@ -21,12 +31,37 @@ func main() {
 	var (
 		modelName = flag.String("model", "escalating", "oracle model: perfect, escalating, faulty")
 		faultyP   = flag.Float64("p", 0.30, "guess-too-low probability for -model faulty")
+		online    = flag.Bool("online", false, "mine an organic-failure soak instead of the static paper mix")
+		treeName  = flag.String("tree", "IIp", "-online: deployed tree to soak and transform")
+		horizon   = flag.Duration("horizon", 4*time.Hour, "-online: simulated soak duration")
+		seed      = flag.Int64("seed", 2002, "-online: simulation seed")
 	)
 	flag.Parse()
-	if err := run(*modelName, *faultyP); err != nil {
+	var err error
+	if *online {
+		err = runOnline(*treeName, *horizon, *seed)
+	} else {
+		err = run(*modelName, *faultyP)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "treeopt:", err)
 		os.Exit(1)
 	}
+}
+
+// runOnline is the online mode: soak, mine, propose.
+func runOnline(treeName string, horizon time.Duration, seed int64) error {
+	cfg := experiment.DefaultOnlineConfig()
+	cfg.Tree = treeName
+	cfg.Horizon = horizon
+	cfg.Seed = seed
+	p, err := experiment.RunOnlineProposal(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.RenderOnlineProposal(cfg, p))
+	fmt.Printf("\nproposed tree:\n%s", p.Result.Tree.Render())
+	return nil
 }
 
 func run(modelName string, faultyP float64) error {

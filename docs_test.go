@@ -1,6 +1,7 @@
 package mercury_test
 
 import (
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -54,5 +55,157 @@ func TestMarkdownLinks(t *testing.T) {
 	}
 	if checked == 0 {
 		t.Error("no intra-repo links found; the link check is vacuous")
+	}
+}
+
+// rootDocs returns the top-level markdown docs, failing the test when the
+// glob is empty (so a working-directory mishap can't make the checks
+// vacuously pass).
+func rootDocs(t *testing.T) []string {
+	t.Helper()
+	docs, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("no markdown docs found at repo root")
+	}
+	return docs
+}
+
+// fencedBlock matches ``` fenced code blocks; inlineSpan matches `inline
+// code` spans. Together they delimit the "code contexts" of a doc — the
+// places where a `rrbench <sub>` mention is a command line, not prose.
+var (
+	fencedBlock = regexp.MustCompile("(?s)```.*?```")
+	inlineSpan  = regexp.MustCompile("`[^`\n]+`")
+)
+
+// codeContexts returns every fenced block and inline span in a doc body.
+func codeContexts(body string) []string {
+	ctxs := fencedBlock.FindAllString(body, -1)
+	// Strip fenced blocks before scanning for inline spans so a stray
+	// backtick inside a block isn't double-counted.
+	rest := fencedBlock.ReplaceAllString(body, "")
+	return append(ctxs, inlineSpan.FindAllString(rest, -1)...)
+}
+
+// rrbenchMention matches the word after "rrbench" in a code context.
+// Flags (-all, -trials …) start with '-' and do not match.
+var rrbenchMention = regexp.MustCompile(`rrbench\s+([a-z][a-z0-9]*)\b`)
+
+// subcmdDecl matches the entries of the subcommands map in
+// cmd/rrbench/main.go ("oracle": runOracle, …).
+var subcmdDecl = regexp.MustCompile(`"([a-z]+)":\s+run[A-Z]`)
+
+// TestDocsRRBenchSubcommands checks both directions of the subcommand
+// contract between the docs and cmd/rrbench: every `rrbench <sub>`
+// command the docs show must exist in the subcommands map, and every
+// subcommand in the map must be demonstrated in at least one doc.
+func TestDocsRRBenchSubcommands(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("cmd", "rrbench", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, m := range subcmdDecl.FindAllStringSubmatch(string(src), -1) {
+		known[m[1]] = true
+	}
+	if len(known) == 0 {
+		t.Fatal("no subcommands parsed from cmd/rrbench/main.go; the check is vacuous")
+	}
+
+	mentioned := map[string]string{} // subcommand -> first doc mentioning it
+	for _, doc := range rootDocs(t) {
+		body, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ctx := range codeContexts(string(body)) {
+			for _, m := range rrbenchMention.FindAllStringSubmatch(ctx, -1) {
+				sub := m[1]
+				if !known[sub] {
+					t.Errorf("%s shows `rrbench %s`, which is not a subcommand of cmd/rrbench", doc, sub)
+				}
+				if _, ok := mentioned[sub]; !ok {
+					mentioned[sub] = doc
+				}
+			}
+		}
+	}
+	for sub := range known {
+		if _, ok := mentioned[sub]; !ok {
+			t.Errorf("cmd/rrbench subcommand %q is not demonstrated in any top-level doc", sub)
+		}
+	}
+}
+
+// metricTok matches a mercury_* metric family mention in a doc. The
+// trailing [a-z0-9] keeps prefix mentions like `mercury_bus_shard_*`
+// from capturing the underscore.
+var metricTok = regexp.MustCompile(`mercury_[a-z0-9_]*[a-z0-9]`)
+
+// promSuffixes are the per-series suffixes a Prometheus histogram or
+// summary family fans out to; docs may name a concrete series while the
+// code registers only the family.
+var promSuffixes = []string{"_bucket", "_count", "_sum"}
+
+// TestDocsMetricFamilies checks that every mercury_* metric the docs
+// mention exists in the code: each token (after stripping histogram
+// series suffixes) must appear in some .go file, either as an exact
+// literal or as the prefix of one (docs legitimately show grep patterns
+// like `mercury_rec`). A renamed or deleted metric must not leave the
+// operator guide pointing at a family /metrics will never serve.
+func TestDocsMetricFamilies(t *testing.T) {
+	var corpus strings.Builder
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		body, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		corpus.Write(body)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := corpus.String()
+
+	checked := 0
+	for _, doc := range rootDocs(t) {
+		body, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, tok := range metricTok.FindAllString(string(body), -1) {
+			if seen[tok] {
+				continue
+			}
+			seen[tok] = true
+			family := tok
+			for _, suf := range promSuffixes {
+				family = strings.TrimSuffix(family, suf)
+			}
+			if !strings.Contains(code, family) {
+				t.Errorf("%s mentions metric %q, which appears nowhere in the code", doc, tok)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no mercury_* metric mentions found in docs; the check is vacuous")
 	}
 }

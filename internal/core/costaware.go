@@ -1,0 +1,446 @@
+package core
+
+import (
+	"strings"
+	"time"
+)
+
+// This file implements oracle v2: recovery actions beyond "push a restart
+// button" and a cost-aware policy that chooses between them. The paper's
+// oracle maps a failure to a restart-tree node with fixed escalation;
+// "Asymptotic efficiency of restart and checkpointing" (PAPERS.md) frames
+// the real decision — restart at some depth, microreboot, or restore from
+// a checkpoint — as minimizing expected cost given observed MTTF/MTTR.
+// Oracle v2 ranks the escalation ladder by expected user-facing outage,
+// using live per-site estimates (see estimate.go) with calibrated priors.
+
+// ActionKind discriminates recovery actions.
+type ActionKind uint8
+
+// Action kinds, cheapest-first on a typical ladder.
+const (
+	// ActRestart is the classic kill-and-respawn of the node's subtree.
+	ActRestart ActionKind = iota + 1
+	// ActMicroreboot drops only subcomponent logic and reattaches to the
+	// crash-only store — the node's subtree is all subcomponents.
+	ActMicroreboot
+	// ActCkptRestore restores the components' externalized state from the
+	// latest checkpoint and then reboots them: it can cure state
+	// corruption that a plain microreboot would faithfully reattach to.
+	ActCkptRestore
+)
+
+// String names the kind for traces and metric labels.
+func (k ActionKind) String() string {
+	switch k {
+	case ActRestart:
+		return "restart"
+	case ActMicroreboot:
+		return "microreboot"
+	case ActCkptRestore:
+		return "ckpt-restore"
+	default:
+		return "unknown"
+	}
+}
+
+// Action is one recovery action: which node's subtree to recover and how.
+type Action struct {
+	Node *Node
+	Kind ActionKind
+}
+
+// key identifies the action for estimator bookkeeping.
+func (a Action) key() string { return a.Kind.String() + "|" + a.Node.Label() }
+
+// ActionOracle is implemented by policies that choose full actions, not
+// just nodes. The recoverer prefers it over Oracle when present; classic
+// oracles keep the plain-restart semantics untouched.
+type ActionOracle interface {
+	Oracle
+	// ChooseAction returns the recovery action for a failure reported at
+	// component. attempt starts at 1; prev is the previous attempt's
+	// action (nil when attempt == 1).
+	ChooseAction(t *Tree, component string, prev *Action, attempt int) (Action, error)
+}
+
+// CheckpointModel exposes checkpoint availability and modeled restore
+// latency to the policy. internal/ckpt's Manager implements it; keeping it
+// an interface here avoids a core→ckpt dependency.
+type CheckpointModel interface {
+	// RestoreCost returns the modeled latency of restoring the
+	// component's externalized state from the latest checkpoint, and
+	// whether such a checkpoint exists.
+	RestoreCost(component string) (time.Duration, bool)
+}
+
+// FailureObserver is implemented by oracles that track failure arrivals
+// (MTTF estimation). The recoverer reports every fresh failure episode.
+type FailureObserver interface {
+	ObserveFailure(component string, at time.Time)
+}
+
+// ActionOutcomeObserver extends OutcomeObserver with the action taken and
+// its measured duration — the recoverer's feed for MTTR estimation.
+type ActionOutcomeObserver interface {
+	ObserveAction(component string, act Action, elapsed time.Duration, cured bool)
+}
+
+// defaultIsSub treats dotted names as subcomponents, matching
+// proc.SubName's naming scheme.
+func defaultIsSub(name string) bool { return strings.Contains(name, ".") }
+
+// actionLadder enumerates the escalation ladder for a failure at
+// component, cheapest rung first: the microreboot of the sub's own cell,
+// then (when a checkpoint exists) checkpoint-restore at the same cell,
+// then plain restarts of each ancestor up to the root.
+func actionLadder(t *Tree, component string, isSub func(string) bool, ckpt CheckpointModel) ([]Action, error) {
+	if isSub == nil {
+		isSub = defaultIsSub
+	}
+	cell, err := t.CellOf(component)
+	if err != nil {
+		return nil, err
+	}
+	var ladder []Action
+	start := cell
+	if isSub(component) {
+		allSub := true
+		for _, c := range cell.Subtree() {
+			if !isSub(c) {
+				allSub = false
+				break
+			}
+		}
+		if allSub {
+			ladder = append(ladder, Action{Node: cell, Kind: ActMicroreboot})
+			if ckpt != nil {
+				if _, ok := ckpt.RestoreCost(component); ok {
+					ladder = append(ladder, Action{Node: cell, Kind: ActCkptRestore})
+				}
+			}
+			start = cell.Parent()
+		}
+	}
+	for n := start; n != nil; n = n.Parent() {
+		ladder = append(ladder, Action{Node: n, Kind: ActRestart})
+	}
+	return ladder, nil
+}
+
+// indexOfAction locates prev in the ladder (-1 when absent).
+func indexOfAction(ladder []Action, prev Action) int {
+	for i, a := range ladder {
+		if a.Node == prev.Node && a.Kind == prev.Kind {
+			return i
+		}
+	}
+	return -1
+}
+
+// CostAwareConfig parameterises oracle v2.
+type CostAwareConfig struct {
+	// IsSub reports whether a name is a microrebootable subcomponent;
+	// nil treats dotted names as subs.
+	IsSub func(name string) bool
+	// Ckpt models checkpoint availability and restore latency; nil
+	// removes the checkpoint-restore rung.
+	Ckpt CheckpointModel
+	// HarmRate returns the user-harm rate (e.g. offered requests/s)
+	// attributable to an outage of the component. The rate scales every
+	// rung of one site's ladder equally — the argmin is rate-invariant —
+	// but it is what the policy reports as predicted harm and what
+	// cross-site comparisons use. Nil means 1 for every component.
+	HarmRate func(component string) float64
+	// ReDetect is the modeled turnaround of a failed attempt: the
+	// persisting failure must be re-detected and re-reported before the
+	// next rung fires.
+	ReDetect time.Duration
+	// DurationPrior seeds per-action duration estimates before any
+	// outcome is observed; nil uses crude built-in defaults.
+	DurationPrior func(site string, act Action) time.Duration
+	// Window is the estimator's effective EWMA window N (alpha =
+	// 2/(N+1)); <= 0 means 8.
+	Window int
+}
+
+// CostAwareOracle is oracle v2: it ranks every viable starting rung of the
+// escalation ladder by expected outage seconds —
+//
+//	H(last) = D(last)                         (the root cures, A_cure)
+//	H(i)    = D(i) + (1-P(i)) · (redetect + H(i+1))
+//
+// with per-(site, action) success probabilities P and durations D from the
+// live estimator, and starts at the argmin. On persistence it re-ranks the
+// rungs above the failed one, so a failed microreboot can escalate
+// straight past checkpoint-restore when the estimates say so. All inputs
+// are deterministic functions of observed history on the simulated clock,
+// so decisions are reproducible across parallel campaign trials.
+type CostAwareOracle struct {
+	cfg CostAwareConfig
+	est *Estimator
+}
+
+var (
+	_ ActionOracle          = (*CostAwareOracle)(nil)
+	_ FailureObserver       = (*CostAwareOracle)(nil)
+	_ ActionOutcomeObserver = (*CostAwareOracle)(nil)
+)
+
+// NewCostAwareOracle builds oracle v2.
+func NewCostAwareOracle(cfg CostAwareConfig) *CostAwareOracle {
+	if cfg.ReDetect <= 0 {
+		cfg.ReDetect = 1500 * time.Millisecond
+	}
+	return &CostAwareOracle{cfg: cfg, est: NewEstimator(cfg.Window)}
+}
+
+// Name implements Oracle.
+func (o *CostAwareOracle) Name() string { return "costaware" }
+
+// Estimator exposes the live estimates (ops console, tests).
+func (o *CostAwareOracle) Estimator() *Estimator { return o.est }
+
+// Choose implements Oracle for hosts that only speak nodes.
+func (o *CostAwareOracle) Choose(t *Tree, component string, prev *Node, attempt int) (*Node, error) {
+	if attempt > 1 {
+		return escalate(t, component, prev)
+	}
+	act, err := o.ChooseAction(t, component, nil, 1)
+	if err != nil {
+		return nil, err
+	}
+	return act.Node, nil
+}
+
+// harmRate resolves the component's harm rate, falling back from a dotted
+// sub to its hosting process.
+func (o *CostAwareOracle) harmRate(component string) float64 {
+	if o.cfg.HarmRate == nil {
+		return 1
+	}
+	return o.cfg.HarmRate(component)
+}
+
+// duration returns the expected seconds of one action at a site: the
+// estimator's EWMA when it has a sample, else the prior.
+func (o *CostAwareOracle) duration(site string, a Action) float64 {
+	if d, ok := o.est.Duration(site, a.key()); ok {
+		return d.Seconds()
+	}
+	if o.cfg.DurationPrior != nil {
+		if d := o.cfg.DurationPrior(site, a); d > 0 {
+			return d.Seconds()
+		}
+	}
+	switch a.Kind {
+	case ActMicroreboot:
+		return 0.5
+	case ActCkptRestore:
+		base := 0.5
+		if o.cfg.Ckpt != nil {
+			if d, ok := o.cfg.Ckpt.RestoreCost(site); ok {
+				base += d.Seconds()
+			}
+		}
+		return base
+	default:
+		return 5 + 0.5*float64(len(a.Node.Subtree())-1)
+	}
+}
+
+// ChooseAction implements ActionOracle.
+func (o *CostAwareOracle) ChooseAction(t *Tree, component string, prev *Action, attempt int) (Action, error) {
+	if t == nil {
+		return Action{}, ErrNilTree
+	}
+	ladder, err := actionLadder(t, component, o.cfg.IsSub, o.cfg.Ckpt)
+	if err != nil || len(ladder) == 0 {
+		node, cerr := t.CellOf(component)
+		if cerr != nil {
+			return Action{}, cerr
+		}
+		return Action{Node: node, Kind: ActRestart}, nil
+	}
+	lo := 0
+	if attempt > 1 && prev != nil {
+		idx := indexOfAction(ladder, *prev)
+		if idx < 0 {
+			// The tree changed mid-episode; fall back to plain escalation.
+			node, eerr := escalate(t, component, prev.Node)
+			if eerr != nil {
+				return Action{}, eerr
+			}
+			return Action{Node: node, Kind: ActRestart}, nil
+		}
+		lo = idx + 1
+		if lo >= len(ladder) {
+			lo = len(ladder) - 1 // at the root; the budget will stop us
+		}
+	}
+	// Backward induction over the ladder suffix.
+	H := make([]float64, len(ladder))
+	redetect := o.cfg.ReDetect.Seconds()
+	for i := len(ladder) - 1; i >= lo; i-- {
+		d := o.duration(component, ladder[i])
+		if i == len(ladder)-1 {
+			H[i] = d
+			continue
+		}
+		p := o.est.PSuccess(component, ladder[i].key())
+		H[i] = d + (1-p)*(redetect+H[i+1])
+	}
+	best := lo
+	for i := lo + 1; i < len(ladder); i++ {
+		if H[i] < H[best]-1e-12 {
+			best = i
+		}
+	}
+	chosen := ladder[best]
+	M.OracleDecisions.With(chosen.Kind.String()).Inc()
+	M.OraclePredictedHarm.Observe(uint64(H[best] * o.harmRate(component)))
+	return chosen, nil
+}
+
+// ObserveFailure implements FailureObserver.
+func (o *CostAwareOracle) ObserveFailure(component string, at time.Time) {
+	o.est.ObserveFailure(component, at)
+}
+
+// ObserveAction implements ActionOutcomeObserver.
+func (o *CostAwareOracle) ObserveAction(component string, act Action, elapsed time.Duration, cured bool) {
+	o.est.ObserveAction(component, act, elapsed, cured)
+}
+
+// FixedPolicyKind selects a fixed baseline action policy.
+type FixedPolicyKind uint8
+
+// Fixed policies — the baselines the policy campaign compares v2 against.
+const (
+	// FixedMicro always starts with the cheapest microreboot and
+	// escalates with plain restarts (never checkpoint-restores).
+	FixedMicro FixedPolicyKind = iota + 1
+	// FixedProcess always starts at the hosting process's cell (skipping
+	// the sub-level rungs entirely).
+	FixedProcess
+	// FixedCkpt always starts with checkpoint-restore when a checkpoint
+	// exists (degrading to a microreboot before the first snapshot).
+	FixedCkpt
+)
+
+// FixedActionOracle applies one fixed starting action with standard upward
+// escalation. It is the policy-campaign baseline family: no estimates, no
+// cost model, one rule.
+type FixedActionOracle struct {
+	Mode FixedPolicyKind
+	// Ckpt is required by FixedCkpt; others ignore it.
+	Ckpt CheckpointModel
+	// IsSub as in CostAwareConfig; nil treats dotted names as subs.
+	IsSub func(name string) bool
+}
+
+var _ ActionOracle = (*FixedActionOracle)(nil)
+
+// Name implements Oracle.
+func (o *FixedActionOracle) Name() string {
+	switch o.Mode {
+	case FixedMicro:
+		return "fixed-micro"
+	case FixedProcess:
+		return "fixed-process"
+	case FixedCkpt:
+		return "fixed-ckpt"
+	default:
+		return "fixed"
+	}
+}
+
+// ladder builds the mode's restricted escalation ladder.
+func (o *FixedActionOracle) ladder(t *Tree, component string) ([]Action, error) {
+	var ckpt CheckpointModel
+	if o.Mode == FixedCkpt {
+		ckpt = o.Ckpt
+	}
+	full, err := actionLadder(t, component, o.IsSub, ckpt)
+	if err != nil {
+		return nil, err
+	}
+	switch o.Mode {
+	case FixedProcess:
+		kept := full[:0]
+		for _, a := range full {
+			if a.Kind == ActRestart {
+				kept = append(kept, a)
+			}
+		}
+		return kept, nil
+	case FixedCkpt:
+		hasCkpt := false
+		for _, a := range full {
+			if a.Kind == ActCkptRestore {
+				hasCkpt = true
+				break
+			}
+		}
+		if !hasCkpt {
+			return full, nil
+		}
+		kept := full[:0]
+		for _, a := range full {
+			if a.Kind != ActMicroreboot {
+				kept = append(kept, a)
+			}
+		}
+		return kept, nil
+	default:
+		return full, nil
+	}
+}
+
+// Choose implements Oracle.
+func (o *FixedActionOracle) Choose(t *Tree, component string, prev *Node, attempt int) (*Node, error) {
+	if t == nil {
+		return nil, ErrNilTree
+	}
+	if attempt > 1 {
+		return escalate(t, component, prev)
+	}
+	act, err := o.ChooseAction(t, component, nil, 1)
+	if err != nil {
+		return nil, err
+	}
+	return act.Node, nil
+}
+
+// ChooseAction implements ActionOracle.
+func (o *FixedActionOracle) ChooseAction(t *Tree, component string, prev *Action, attempt int) (Action, error) {
+	if t == nil {
+		return Action{}, ErrNilTree
+	}
+	ladder, err := o.ladder(t, component)
+	if err != nil || len(ladder) == 0 {
+		node, cerr := t.CellOf(component)
+		if cerr != nil {
+			return Action{}, cerr
+		}
+		return Action{Node: node, Kind: ActRestart}, nil
+	}
+	i := 0
+	if attempt > 1 && prev != nil {
+		if idx := indexOfAction(ladder, *prev); idx >= 0 {
+			i = idx + 1
+		} else {
+			node, eerr := escalate(t, component, prev.Node)
+			if eerr != nil {
+				return Action{}, eerr
+			}
+			return Action{Node: node, Kind: ActRestart}, nil
+		}
+		if i >= len(ladder) {
+			i = len(ladder) - 1
+		}
+	}
+	chosen := ladder[i]
+	M.OracleDecisions.With(chosen.Kind.String()).Inc()
+	return chosen, nil
+}

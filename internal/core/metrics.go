@@ -38,15 +38,31 @@ type CoreMetrics struct {
 	// RECRecovery is failure report → restart set fully ready: the
 	// recoverer's end-to-end repair time for one action.
 	RECRecovery *obs.Histogram
+
+	// RECCkptRestores counts recovery actions executed as
+	// checkpoint-restores (restore externalized state, then reboot).
+	RECCkptRestores obs.Counter
+
+	// Oracle v2 estimator plane.
+	OracleDecisions     *obs.CounterVec    // policy decisions by action kind
+	OracleOutcomes      *obs.CounterVec    // attempt outcomes: cured / persisted
+	OracleMTTFEst       *obs.Histogram     // observed failure inter-arrivals per site
+	OracleActionSeconds *obs.Histogram     // observed recovery-action durations
+	OraclePredictedHarm *obs.ValueHistogram // predicted harm of the chosen action
 }
 
 // M is the process-wide core metrics instance. FD/REC run on a single
 // dispatch context per station, so plain Inc on shard 0 is uncontended.
 var M = CoreMetrics{
-	FDRTT:             obs.NewHistogram(obs.DefBuckets()...),
-	FDDetect:          obs.NewHistogram(obs.DefBuckets()...),
-	RECRestartsByNode: obs.NewCounterVec(),
-	RECRecovery:       obs.NewHistogram(obs.DefBuckets()...),
+	FDRTT:               obs.NewHistogram(obs.DefBuckets()...),
+	FDDetect:            obs.NewHistogram(obs.DefBuckets()...),
+	RECRestartsByNode:   obs.NewCounterVec(),
+	RECRecovery:         obs.NewHistogram(obs.DefBuckets()...),
+	OracleDecisions:     obs.NewCounterVec(),
+	OracleOutcomes:      obs.NewCounterVec(),
+	OracleMTTFEst:       obs.NewHistogram(obs.DefBuckets()...),
+	OracleActionSeconds: obs.NewHistogram(obs.DefBuckets()...),
+	OraclePredictedHarm: obs.NewValueHistogram(1, 10, 100, 1e3, 1e4, 1e5, 1e6),
 }
 
 // RegisterMetrics registers the detection/recovery families with an obs
@@ -89,4 +105,17 @@ func RegisterMetrics(r *obs.Registry) {
 		"Special-case FD recoveries initiated by the recoverer.", &M.RECFDRecoveries)
 	r.RegisterHistogram("mercury_rec_recovery_seconds",
 		"Failure report to restart set fully ready.", M.RECRecovery)
+	r.RegisterCounter("mercury_rec_ckpt_restores_total",
+		"Recovery actions executed as checkpoint-restores.", &M.RECCkptRestores)
+
+	r.RegisterCounterVec("mercury_oracle_decisions_total",
+		"Oracle v2 decisions by recovery-action kind.", "action", M.OracleDecisions)
+	r.RegisterCounterVec("mercury_oracle_outcomes_total",
+		"Recovery-attempt outcomes observed by the estimator.", "outcome", M.OracleOutcomes)
+	r.RegisterHistogram("mercury_oracle_mttf_estimate_seconds",
+		"Observed failure inter-arrival times per manifest site.", M.OracleMTTFEst)
+	r.RegisterHistogram("mercury_oracle_action_seconds",
+		"Observed recovery-action durations.", M.OracleActionSeconds)
+	r.RegisterValueHistogram("mercury_oracle_predicted_harm",
+		"Predicted user harm of the chosen action (harm-rate-weighted seconds).", M.OraclePredictedHarm)
 }

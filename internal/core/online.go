@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file promotes the offline tree optimizer to an *online* one: during
+// a soak, measured recovery episodes are mined into an empirical fault mix
+// (arrival weights from observed failure counts, cure sets from the curing
+// restart action, durations from the trace) and the hill-climber proposes
+// transformations of the tree actually deployed — depth augmentation,
+// consolidation, promotion and micro-augmentation — scored by the analytic
+// model against that measured mix. RandomTree generates the randomized
+// trees the rrbench oracle campaign uses to validate the analytic
+// predictions against fleet-sim ground truth.
+
+// Episode is one measured recovery: where the failure manifested, the
+// component set of the restart action that finally cured it, and how long
+// report→whole took. CuredBy is an *upper bound* on the minimal cure set —
+// an escalating recovery only proves cure ⊆ CuredBy (and cure ⊄ each
+// failed earlier rung); the miner uses the smallest curing set seen per
+// manifest, which converges onto the minimal cure as episodes accumulate.
+type Episode struct {
+	Manifest string
+	CuredBy  []string
+	Recovery time.Duration
+}
+
+// OnlineOptimizer accumulates measured episodes and proposes tree
+// transformations from them.
+type OnlineOptimizer struct {
+	eps []Episode
+}
+
+// NewOnlineOptimizer builds an empty episode miner.
+func NewOnlineOptimizer() *OnlineOptimizer { return &OnlineOptimizer{} }
+
+// Add records one measured episode.
+func (o *OnlineOptimizer) Add(ep Episode) { o.eps = append(o.eps, ep) }
+
+// Episodes reports how many episodes have been mined.
+func (o *OnlineOptimizer) Episodes() int { return len(o.eps) }
+
+// Mix converts the mined episodes into an empirical fault mix over the
+// given observation horizon: one class per (manifest, smallest observed
+// curing set), weighted by observed arrivals per hour. Dotted sub
+// manifests keep their site (micro-augmented trees can score them);
+// classic trees resolve them via the miner's host fallback in Propose.
+func (o *OnlineOptimizer) Mix(horizon time.Duration) []FaultClass {
+	if horizon <= 0 || len(o.eps) == 0 {
+		return nil
+	}
+	type key struct{ manifest, cure string }
+	smallest := make(map[string][]string) // manifest → smallest curing set
+	counts := make(map[string]int)
+	for _, ep := range o.eps {
+		counts[ep.Manifest]++
+		cure := append([]string(nil), ep.CuredBy...)
+		sort.Strings(cure)
+		if prev, ok := smallest[ep.Manifest]; !ok || len(cure) < len(prev) {
+			smallest[ep.Manifest] = cure
+		}
+	}
+	manifests := make([]string, 0, len(counts))
+	for m := range counts {
+		manifests = append(manifests, m)
+	}
+	sort.Strings(manifests)
+	hours := horizon.Hours()
+	mix := make([]FaultClass, 0, len(manifests))
+	for _, m := range manifests {
+		mix = append(mix, FaultClass{
+			Manifest: m,
+			Cure:     smallest[m],
+			Weight:   float64(counts[m]) / hours,
+		})
+	}
+	return mix
+}
+
+// hostOf strips a dotted sub name to its hosting process.
+func hostOf(name string) string {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// hostMix maps every dotted site in the mix onto its hosting process —
+// the projection classic (non-micro-augmented) trees can score.
+func hostMix(mix []FaultClass) []FaultClass {
+	out := make([]FaultClass, 0, len(mix))
+	for _, fc := range mix {
+		hc := FaultClass{Manifest: hostOf(fc.Manifest), Weight: fc.Weight}
+		seen := map[string]bool{}
+		for _, c := range fc.Cure {
+			h := hostOf(c)
+			if !seen[h] {
+				seen[h] = true
+				hc.Cure = append(hc.Cure, h)
+			}
+		}
+		sort.Strings(hc.Cure)
+		out = append(out, hc)
+	}
+	return out
+}
+
+// Propose hill-climbs from the deployed tree under the mined mix and
+// returns the best transformation sequence found. subs, when non-nil,
+// adds micro-augmentation to the candidate moves. Dotted sites in the mix
+// are projected onto their hosting processes for trees without the
+// corresponding sub cells.
+func (o *OnlineOptimizer) Propose(start *Tree, ap AnalyticParams, model OracleModel,
+	faultyP float64, horizon time.Duration, subs map[string][]string) (*OptimizeResult, error) {
+	mix := o.Mix(horizon)
+	if len(mix) == 0 {
+		return nil, ErrNoFaultClasses
+	}
+	comps := make([]string, 0)
+	for _, c := range start.Components() {
+		if !strings.Contains(c, ".") {
+			comps = append(comps, c)
+		}
+	}
+	sort.Strings(comps)
+	return OptimizeFrom(start, comps, mix, ap, model, faultyP, subs)
+}
+
+// OptimizeFrom hill-climbs from an arbitrary starting tree over the
+// transformation moves (plus micro-augmentation when subs is non-nil),
+// minimising analytic expected MTTR under the mix. Candidate trees the
+// parameters cannot score (e.g. a micro-augmented tree without sub restart
+// times) are skipped, and mixes whose sites a candidate lacks fall back to
+// their host-process projection.
+func OptimizeFrom(start *Tree, comps []string, mix []FaultClass, ap AnalyticParams,
+	model OracleModel, faultyP float64, subs map[string][]string) (*OptimizeResult, error) {
+	if len(comps) == 0 {
+		return nil, ErrNoComponents
+	}
+	score := func(t *Tree) (float64, error) {
+		s, err := ExpectedMTTR(t, mix, ap, model, faultyP)
+		if err == nil {
+			return s, nil
+		}
+		return ExpectedMTTR(t, hostMix(mix), ap, model, faultyP)
+	}
+	current := start
+	sc, err := score(current)
+	if err != nil {
+		return nil, err
+	}
+	res := &OptimizeResult{Start: sc}
+	seen := map[string]bool{current.Render(): true}
+	for iter := 0; iter < 64; iter++ {
+		bestTree, bestScore, bestMove := (*Tree)(nil), sc, ""
+		cands := candidateMoves(current, comps)
+		if subs != nil {
+			if tr, err := SubAugment(current, "opt", subs); err == nil {
+				cands = append(cands, candidate{tree: tr, desc: "micro-augment"})
+			}
+		}
+		for _, cand := range cands {
+			if seen[cand.tree.Render()] {
+				continue
+			}
+			s, err := score(cand.tree)
+			if err != nil {
+				continue
+			}
+			if s < bestScore-1e-9 {
+				bestTree, bestScore, bestMove = cand.tree, s, cand.desc
+			}
+		}
+		if bestTree == nil {
+			break
+		}
+		current, sc = bestTree, bestScore
+		seen[current.Render()] = true
+		res.Steps = append(res.Steps, fmt.Sprintf("%s → %.2f s", bestMove, bestScore))
+	}
+	named, err := current.Clone("optimized")
+	if err != nil {
+		return nil, err
+	}
+	res.Tree = named
+	res.Expected = sc
+	return res, nil
+}
+
+// RandomTree generates a seeded random restart tree over the components: a
+// recursive random partition where each group either becomes a shared
+// (consolidated) cell or an inner node over sub-partitions. The rrbench
+// oracle campaign boots thousands of these to verify that the analytic
+// model's tree ranking matches simulated ground truth.
+func RandomTree(rng *rand.Rand, name string, comps []string) (*Tree, error) {
+	if len(comps) == 0 {
+		return nil, ErrNoComponents
+	}
+	sorted := append([]string(nil), comps...)
+	sort.Strings(sorted)
+	root := &Node{Children: []*Node{randPartition(rng, sorted)}}
+	// A root with a single child collapses to that child as the
+	// whole-system node.
+	if len(root.Children) == 1 {
+		root = root.Children[0]
+	}
+	if len(root.Children) == 0 {
+		// Everything consolidated into one cell: hang it under a root so
+		// the tree still has a whole-system button distinct from the cell.
+		root = &Node{Children: []*Node{root}}
+	}
+	return NewTree(name, root)
+}
+
+// randPartition builds a random subtree over the (non-empty) component set.
+func randPartition(rng *rand.Rand, comps []string) *Node {
+	if len(comps) == 1 {
+		return &Node{Components: []string{comps[0]}}
+	}
+	// Consolidate the whole group into one shared cell 30% of the time
+	// (small groups only — a giant shared cell is a degenerate tree I).
+	if len(comps) <= 3 && rng.Float64() < 0.3 {
+		return &Node{Components: append([]string(nil), comps...)}
+	}
+	shuffled := append([]string(nil), comps...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	k := 2
+	if len(shuffled) > 2 {
+		k += rng.Intn(len(shuffled) - 1) // 2..len
+	}
+	groups := make([][]string, k)
+	for i, c := range shuffled {
+		groups[i%k] = append(groups[i%k], c)
+	}
+	n := &Node{}
+	for _, g := range groups {
+		sort.Strings(g)
+		n.Children = append(n.Children, randPartition(rng, g))
+	}
+	return n
+}

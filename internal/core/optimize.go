@@ -106,41 +106,7 @@ func Optimize(components []string, mix []FaultClass, ap AnalyticParams,
 	if err != nil {
 		return nil, err
 	}
-	score, err := ExpectedMTTR(current, mix, ap, model, faultyP)
-	if err != nil {
-		return nil, err
-	}
-	res := &OptimizeResult{Start: score}
-
-	seen := map[string]bool{current.Render(): true}
-	for iter := 0; iter < 64; iter++ {
-		bestTree, bestScore, bestMove := (*Tree)(nil), score, ""
-		for _, cand := range candidateMoves(current, comps) {
-			if seen[cand.tree.Render()] {
-				continue
-			}
-			s, err := ExpectedMTTR(cand.tree, mix, ap, model, faultyP)
-			if err != nil {
-				continue
-			}
-			if s < bestScore-1e-9 {
-				bestTree, bestScore, bestMove = cand.tree, s, cand.desc
-			}
-		}
-		if bestTree == nil {
-			break
-		}
-		current, score = bestTree, bestScore
-		seen[current.Render()] = true
-		res.Steps = append(res.Steps, fmt.Sprintf("%s → %.2f s", bestMove, bestScore))
-	}
-	named, err := current.Clone("optimized")
-	if err != nil {
-		return nil, err
-	}
-	res.Tree = named
-	res.Expected = score
-	return res, nil
+	return OptimizeFrom(current, comps, mix, ap, model, faultyP, nil)
 }
 
 // candidate is one transformed tree plus a human-readable move.

@@ -63,6 +63,12 @@ type RECParams struct {
 	// procedure runs whenever a recovery action targets exactly that
 	// component; escalated multi-component restarts stay plain restarts.
 	Procedures map[string]Recovery
+
+	// CkptRestore restores the externalized state of the restart set from
+	// the latest checkpoint, returning the modeled restore latency the
+	// action must pay before the reboot fires. Nil disables the
+	// checkpoint-restore rung even if an ActionOracle asks for it.
+	CkptRestore func(set []string) (time.Duration, error)
 }
 
 // DefaultRECParams returns the calibrated recoverer configuration.
@@ -86,6 +92,7 @@ func DefaultRECParams() RECParams {
 type episode struct {
 	attempt         int
 	prev            *Node
+	prevAct         Action // last action taken; Node nil before the first
 	awaitingVerdict bool      // restart completed; watching for persistence
 	lastReadyAt     time.Time // when the restart action finished
 	pendingReady    map[string]bool
@@ -309,17 +316,27 @@ func (r *REC) onFailureReport(ctx proc.Context, component string) {
 	} else {
 		ep = &episode{attempt: 1}
 		r.episodes[component] = ep
+		if fo, ok := r.oracle.(FailureObserver); ok {
+			fo.ObserveFailure(component, now)
+		}
 	}
 	ep.startedAt = now
 
-	node, err := r.oracle.Choose(r.tree, component, ep.prev, ep.attempt)
+	act, err := r.chooseAction(component, ep)
 	if err != nil {
 		ctx.Log().Add(now, trace.Note, component, "", "oracle error: "+err.Error())
 		return
 	}
+	node := act.Node
 	ep.prev = node
-	ctx.Log().Add(now, trace.OracleGuess, component, node.Label(),
-		fmt.Sprintf("policy=%s attempt=%d", r.oracle.Name(), ep.attempt))
+	ep.prevAct = act
+	if _, actionAware := r.oracle.(ActionOracle); actionAware {
+		ctx.Log().Add(now, trace.OracleGuess, component, node.Label(),
+			fmt.Sprintf("policy=%s attempt=%d action=%s", r.oracle.Name(), ep.attempt, act.Kind))
+	} else {
+		ctx.Log().Add(now, trace.OracleGuess, component, node.Label(),
+			fmt.Sprintf("policy=%s attempt=%d", r.oracle.Name(), ep.attempt))
+	}
 
 	delay := r.params.DecisionDelay
 	if bo := r.restartBackoff(len(kept)); bo > 0 {
@@ -339,6 +356,24 @@ func (r *REC) onFailureReport(ctx proc.Context, component string) {
 		}
 		M.RECRestarts.Inc()
 		M.RECRestartsByNode.With(node.Label()).Inc()
+		if act.Kind == ActCkptRestore && r.params.CkptRestore != nil {
+			if lat, cerr := r.params.CkptRestore(set); cerr == nil {
+				M.RECCkptRestores.Inc()
+				ctx.Log().Add(ctx.Now(), trace.RestartRequested, component, node.Label(),
+					fmt.Sprintf("ckpt-restore (%v) then reboot [%s]", lat, strings.Join(set, " ")))
+				ctx.After(lat, func() {
+					if err := r.mgr.Restart(set); err != nil {
+						ctx.Log().Add(ctx.Now(), trace.Note, component, node.Label(),
+							"recovery failed: "+err.Error())
+						delete(r.inFlight, component)
+					}
+				})
+				return
+			} else {
+				ctx.Log().Add(ctx.Now(), trace.Note, component, node.Label(),
+					"ckpt-restore unavailable, falling back to restart: "+cerr.Error())
+			}
+		}
 		proc, detail := r.procedureFor(set)
 		ctx.Log().Add(ctx.Now(), trace.RestartRequested, component, node.Label(), detail)
 		if err := proc.Execute(set); err != nil {
@@ -347,6 +382,24 @@ func (r *REC) onFailureReport(ctx proc.Context, component string) {
 			delete(r.inFlight, component)
 		}
 	})
+}
+
+// chooseAction consults the oracle: an ActionOracle chooses a full action
+// (node + kind); a classic oracle's node choice is wrapped as a plain
+// restart, keeping the v1 semantics byte-identical.
+func (r *REC) chooseAction(component string, ep *episode) (Action, error) {
+	if ao, ok := r.oracle.(ActionOracle); ok {
+		var prev *Action
+		if ep.attempt > 1 && ep.prevAct.Node != nil {
+			prev = &ep.prevAct
+		}
+		return ao.ChooseAction(r.tree, component, prev, ep.attempt)
+	}
+	node, err := r.oracle.Choose(r.tree, component, ep.prev, ep.attempt)
+	if err != nil {
+		return Action{}, err
+	}
+	return Action{Node: node, Kind: ActRestart}, nil
 }
 
 // restartBackoff computes the exponential damping delay before a restart
@@ -500,14 +553,25 @@ func (r *REC) serving(name string) bool {
 	return r.mgr.Serving(name)
 }
 
-// observe forwards an outcome to a learning oracle, once per attempt.
+// observe forwards an outcome to a learning oracle, once per attempt. An
+// ActionOutcomeObserver additionally gets the action taken and its measured
+// report→ready duration — the estimator's MTTR feed.
 func (r *REC) observe(comp string, node *Node, cured bool) {
-	obs, ok := r.oracle.(OutcomeObserver)
-	if !ok {
-		return
+	ep := r.episodes[comp]
+	fed := false
+	if ao, ok := r.oracle.(ActionOutcomeObserver); ok && ep != nil && ep.prevAct.Node != nil {
+		var elapsed time.Duration
+		if !ep.startedAt.IsZero() && ep.lastReadyAt.After(ep.startedAt) {
+			elapsed = ep.lastReadyAt.Sub(ep.startedAt)
+		}
+		ao.ObserveAction(comp, ep.prevAct, elapsed, cured)
+		fed = true
 	}
-	obs.Observe(comp, node, cured)
-	if ep := r.episodes[comp]; ep != nil {
+	if obs, ok := r.oracle.(OutcomeObserver); ok {
+		obs.Observe(comp, node, cured)
+		fed = true
+	}
+	if fed && ep != nil {
 		ep.observed = cured // a persisted failure re-opens observation
 	}
 }

@@ -266,11 +266,30 @@ func RunRequestCell(ctx context.Context, cfg RequestConfig, mode MicroMode) (*Re
 	return res, nil
 }
 
-// RequestSweep measures every recovery mode with paired seeds, in report
-// order: the user-harm re-scoring of microreboot vs process vs group.
+// RequestModes returns the full tree I–V grid the sweep re-scores, in
+// tree order with each micro-augmented variant next to its base. The
+// microreboot/process/group cells keep their historical mode names (the
+// harm-scoring criterion test addresses them by name); the rest are named
+// after their tree.
+func RequestModes() []MicroMode {
+	return []MicroMode{
+		{Name: "I", Tree: "I"},
+		{Name: "II", Tree: "II"},
+		{Name: "IIp", Tree: "IIp"},
+		{Name: "process", Tree: "III"},
+		{Name: "microreboot", Tree: "IIIm"},
+		{Name: "group", Tree: "IV"},
+		{Name: "IVm", Tree: "IVm"},
+		{Name: "V", Tree: "V"},
+	}
+}
+
+// RequestSweep measures every cell of the tree I–V grid with paired
+// seeds, in report order: the user-harm re-scoring of recovery
+// granularity across the paper's whole tree progression.
 func RequestSweep(ctx context.Context, cfg RequestConfig) ([]*RequestCellResult, error) {
 	var out []*RequestCellResult
-	for _, mode := range MicroModes() {
+	for _, mode := range RequestModes() {
 		cell, err := RunRequestCell(ctx, cfg, mode)
 		if err != nil {
 			return nil, err

@@ -28,6 +28,14 @@ type Fault struct {
 	// responding — a spin/livelock/deadlock) instead of a crash. Both are
 	// fail-silent to the detector; both are curable by restart.
 	Hang bool
+	// StateKey marks a state-corruption fault: the component's externalized
+	// state under this store key is poisoned at injection time. Restarting
+	// the manifest alone reattaches to the corrupt state (the fault
+	// persists); the fault is cured either by a restart batch covering the
+	// full Cure set (rebuilding the state from scratch) or by a
+	// checkpoint-restore of StateKey from a snapshot taken *before*
+	// injection followed by a restart of the manifest.
+	StateKey string
 }
 
 // cureSet normalises the cure set.
@@ -66,11 +74,35 @@ type Board struct {
 	log *trace.Log
 
 	seq    int
-	active map[string]*Fault // by ID
+	active map[string]*activeFault // by ID
 
 	// counters
 	injected int
 	cured    int
+
+	// cureSubs are notified on every cure — the online tree optimizer's
+	// episode feed (an experimental device like MinimalCure: the fault's
+	// true cure set is the injection plane's knowledge, not the
+	// recoverer's).
+	cureSubs []func(ev CureEvent)
+}
+
+// CureEvent describes one fault cure: the fault, the restart batch that
+// cured it, and the injection/cure instants.
+type CureEvent struct {
+	Fault      Fault
+	Batch      []string
+	InjectedAt time.Time
+	CuredAt    time.Time
+}
+
+// activeFault is one live fault plus its board-side bookkeeping: when it
+// was injected and whether a pre-injection checkpoint has since been
+// restored over its StateKey.
+type activeFault struct {
+	Fault
+	injectedAt time.Time
+	restored   bool
 }
 
 // NewBoard creates a board and hooks it into the manager's batch and ready
@@ -81,7 +113,7 @@ func NewBoard(clk clock.Clock, mgr *proc.Manager, log *trace.Log) *Board {
 		clk:    clk,
 		mgr:    mgr,
 		log:    log,
-		active: make(map[string]*Fault),
+		active: make(map[string]*activeFault),
 	}
 	mgr.OnBatch(b.onBatch)
 	mgr.OnReady(b.onReady)
@@ -102,12 +134,14 @@ func (b *Board) Inject(f Fault) error {
 	if _, dup := b.active[f.ID]; dup {
 		return fmt.Errorf("fault: duplicate fault id %q", f.ID)
 	}
-	fc := f
-	b.active[f.ID] = &fc
+	b.active[f.ID] = &activeFault{Fault: f, injectedAt: b.clk.Now()}
 	b.injected++
 	mode := "crash"
 	if f.Hang {
 		mode = "hang"
+	}
+	if f.StateKey != "" {
+		mode += " state=" + f.StateKey
 	}
 	b.log.Add(b.clk.Now(), trace.FaultInjected, f.Manifest, "",
 		fmt.Sprintf("id=%s mode=%s cure=[%s] hard=%v", f.ID, mode, strings.Join(f.CureList(), " "), f.Hard))
@@ -117,7 +151,10 @@ func (b *Board) Inject(f Fault) error {
 	return b.mgr.Kill(f.Manifest, "fault "+f.ID)
 }
 
-// onBatch applies cure semantics when a restart action begins.
+// onBatch applies cure semantics when a restart action begins. A fault is
+// cured when the batch covers its cure set, or — for state faults whose
+// pre-injection checkpoint has been restored — when the batch merely
+// restarts the manifesting component over the now-clean state.
 func (b *Board) onBatch(names []string) {
 	set := make(map[string]bool, len(names))
 	for _, n := range names {
@@ -134,10 +171,37 @@ func (b *Board) onBatch(names []string) {
 				break
 			}
 		}
-		if covered {
-			delete(b.active, id)
-			b.cured++
-			b.log.Add(b.clk.Now(), trace.FaultCured, f.Manifest, "", "id="+id)
+		if !covered && !(f.restored && set[f.Manifest]) {
+			continue
+		}
+		delete(b.active, id)
+		b.cured++
+		b.log.Add(b.clk.Now(), trace.FaultCured, f.Manifest, "", "id="+id)
+		for _, fn := range b.cureSubs {
+			fn(CureEvent{Fault: f.Fault, Batch: names, InjectedAt: f.injectedAt, CuredAt: b.clk.Now()})
+		}
+	}
+}
+
+// OnCure subscribes to fault cures.
+func (b *Board) OnCure(fn func(ev CureEvent)) {
+	b.cureSubs = append(b.cureSubs, fn)
+}
+
+// NoteRestore tells the board that the given store keys were reverted to a
+// snapshot taken at takenAt. Active state faults whose StateKey was
+// reverted to a pre-injection snapshot are marked restored: the next
+// restart of just their manifest cures them. A snapshot taken *after*
+// injection is itself corrupt — restoring it changes nothing, which is the
+// staleness risk the oracle's success-probability estimate learns.
+func (b *Board) NoteRestore(keys []string, takenAt time.Time) {
+	reverted := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		reverted[k] = true
+	}
+	for _, f := range b.active {
+		if f.StateKey != "" && reverted[f.StateKey] && takenAt.Before(f.injectedAt) {
+			f.restored = true
 		}
 	}
 }
@@ -187,7 +251,7 @@ func (b *Board) ActiveFaults() []string {
 // Clear drops all active faults without curing them (between experiment
 // trials).
 func (b *Board) Clear() {
-	b.active = make(map[string]*Fault)
+	b.active = make(map[string]*activeFault)
 }
 
 // Injector drives organic failures: for each component with a configured

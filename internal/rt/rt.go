@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/recursive-restart/mercury/internal/bus"
+	"github.com/recursive-restart/mercury/internal/ckpt"
 	"github.com/recursive-restart/mercury/internal/clock"
 	"github.com/recursive-restart/mercury/internal/core"
 	"github.com/recursive-restart/mercury/internal/fault"
@@ -213,6 +214,18 @@ type NodeConfig struct {
 	// store (implied by the m-variant tree names "IIIm"/"IVm"); requires a
 	// split-layout tree.
 	Micro bool
+	// OracleName selects a built-in policy when Policy is nil:
+	// "" or "escalating", "v2" (the cost-aware oracle), "fixed-micro",
+	// "fixed-process", "fixed-ckpt". The checkpoint-backed policies need
+	// micro mode.
+	OracleName string
+	// CkptInterval is the checkpoint snapshot period; zero = the ckpt
+	// package default. A non-zero value forces the checkpoint plane on
+	// (micro mode only).
+	CkptInterval time.Duration
+	// EstimatorWindow is the cost-aware oracle's EWMA window in samples;
+	// zero = the estimator default.
+	EstimatorWindow int
 }
 
 // Node hosts a live Mercury station: TCP broker, components, FD and REC.
@@ -229,6 +242,9 @@ type Node struct {
 	REC *core.RECHandle
 	// Store is the crash-only state store; nil unless micro mode is on.
 	Store *store.Store
+	// Ckpt is the checkpoint plane; nil unless a checkpoint-backed oracle
+	// or an explicit CkptInterval asked for it.
+	Ckpt *ckpt.Manager
 
 	cfg     NodeConfig
 	scale   float64
@@ -486,9 +502,25 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 
+	// Checkpoint plane: built when a checkpoint-backed oracle or an
+	// explicit interval asks for it (micro mode only — the store holds the
+	// state the snapshots cover).
+	needCkpt := cfg.OracleName == "v2" || cfg.OracleName == "costaware" ||
+		cfg.OracleName == "fixed-ckpt" || cfg.CkptInterval > 0
+	if node.Store != nil && needCkpt {
+		node.Ckpt = ckpt.New(clk, node.Store, ckpt.Options{
+			Interval: cfg.CkptInterval,
+			Keys:     station.MicroCheckpointKeys(),
+		})
+		node.Ckpt.OnRestore(node.Board.NoteRestore)
+	}
+
 	oracle := cfg.Policy
 	if oracle == nil {
-		oracle = core.EscalatingOracle{}
+		var err error
+		if oracle, err = nodeOracle(cfg, node.Ckpt); err != nil {
+			return nil, err
+		}
 	}
 	restartFD := func() {
 		if st, _ := mgr.State(xmlcmd.AddrFD); st != proc.Starting {
@@ -500,7 +532,25 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 			_ = mgr.Restart([]string{xmlcmd.AddrREC})
 		}
 	}
-	recFactory, recHandle := core.NewREC(RECParamsForScale(cfg.Scale), tree, oracle, mgr, restartFD)
+	recParams := RECParamsForScale(cfg.Scale)
+	if node.Ckpt != nil {
+		ck := node.Ckpt
+		recParams.CkptRestore = func(set []string) (time.Duration, error) {
+			var total time.Duration
+			restored := false
+			for _, c := range set {
+				if lat, err := ck.Restore(c); err == nil {
+					total += lat
+					restored = true
+				}
+			}
+			if !restored {
+				return 0, fmt.Errorf("rt: no checkpoint covering %v", set)
+			}
+			return total, nil
+		}
+	}
+	recFactory, recHandle := core.NewREC(recParams, tree, oracle, mgr, restartFD)
 	node.REC = recHandle
 	if err := mgr.Register(xmlcmd.AddrREC, recFactory); err != nil {
 		return nil, err
@@ -668,8 +718,36 @@ func (n *Node) Stop() {
 	// Stop the dispatcher first so no handler can reopen the broker or
 	// touch clients while they are torn down.
 	n.Disp.Stop()
+	if n.Ckpt != nil {
+		n.Ckpt.Close()
+	}
 	for _, c := range clients {
 		c.Close()
 	}
 	n.broker.CloseBroker()
+}
+
+// nodeOracle builds the named built-in policy.
+func nodeOracle(cfg NodeConfig, ck *ckpt.Manager) (core.Oracle, error) {
+	var model core.CheckpointModel
+	if ck != nil {
+		model = ck
+	}
+	switch cfg.OracleName {
+	case "", "escalating":
+		return core.EscalatingOracle{}, nil
+	case "v2", "costaware":
+		return core.NewCostAwareOracle(core.CostAwareConfig{
+			Ckpt:   model,
+			Window: cfg.EstimatorWindow,
+		}), nil
+	case "fixed-micro":
+		return &core.FixedActionOracle{Mode: core.FixedMicro}, nil
+	case "fixed-process":
+		return &core.FixedActionOracle{Mode: core.FixedProcess}, nil
+	case "fixed-ckpt":
+		return &core.FixedActionOracle{Mode: core.FixedCkpt, Ckpt: model}, nil
+	default:
+		return nil, fmt.Errorf("rt: unknown oracle %q", cfg.OracleName)
+	}
 }

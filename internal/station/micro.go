@@ -91,6 +91,18 @@ func MicroSubs() map[string][]string {
 	}
 }
 
+// MicroCheckpointKeys maps each stateful subcomponent (dotted name) to the
+// store keys holding its externalized state — the checkpoint manager's
+// coverage map. Stateless subs (ses.est) are not checkpointable: a
+// microreboot already recovers everything they have.
+func MicroCheckpointKeys() map[string][]string {
+	return map[string][]string{
+		proc.SubName(SES, SubCache):    {KeySessionEpoch},
+		proc.SubName(STR, SubTrack):    {KeyTrackTarget},
+		proc.SubName(Fedr, SubSession): {KeyFedrSession},
+	}
+}
+
 // RegisterSubs registers the microrebootable subcomponents with the
 // manager, in deterministic order.
 func RegisterSubs(mgr *proc.Manager) error {

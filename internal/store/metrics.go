@@ -17,6 +17,7 @@ type StoreMetrics struct {
 	LeaseExpirations obs.Counter // entries reclaimed after their lease died
 	Sweeps           obs.Counter // deterministic sweeper passes
 	Restores         obs.Counter // snapshot restores
+	Reverts          obs.Counter // checkpoint-restore value reverts
 
 	// ValueBytes is the size distribution of written values.
 	ValueBytes *obs.ValueHistogram
@@ -49,6 +50,8 @@ func RegisterMetrics(r *obs.Registry) {
 		"Deterministic expired-entry sweeper passes.", &M.Sweeps)
 	r.RegisterCounter("mercury_store_restores_total",
 		"Snapshot restores.", &M.Restores)
+	r.RegisterCounter("mercury_store_reverts_total",
+		"Checkpoint-restore value reverts.", &M.Reverts)
 	r.RegisterValueHistogram("mercury_store_value_bytes",
 		"Size distribution of written values.", M.ValueBytes)
 }

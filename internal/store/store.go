@@ -273,6 +273,30 @@ func (l *Lease) Release() {
 	}
 }
 
+// ErrNoEntry is returned by Revert for a key with no entry to revert.
+var ErrNoEntry = errors.New("store: no entry under key")
+
+// Revert overwrites the value under key with val, bumping the version —
+// the checkpoint-restore path. It deliberately bypasses lease ownership:
+// the restore is an administrative action by the recovery plane, not a
+// component write, and the holder (possibly mid-reboot) keeps its lease.
+// Reverting a key with no entry at all fails: checkpoint restore
+// resurrects state for components that still exist, it does not create
+// orphan entries nobody leases.
+func (s *Store) Revert(key string, val []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[key]
+	if e == nil {
+		return 0, fmt.Errorf("%w: %q", ErrNoEntry, key)
+	}
+	s.bytes += len(val) - len(e.val)
+	e.val = append(e.val[:0], val...)
+	e.version++
+	M.Reverts.Inc()
+	return e.version, nil
+}
+
 // --- snapshot / restore ---
 
 // snapMagic versions the snapshot encoding.

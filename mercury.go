@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"github.com/recursive-restart/mercury/internal/bus"
+	"github.com/recursive-restart/mercury/internal/ckpt"
 	"github.com/recursive-restart/mercury/internal/clock"
 	"github.com/recursive-restart/mercury/internal/core"
 	"github.com/recursive-restart/mercury/internal/fault"
@@ -56,6 +57,19 @@ const (
 	// PolicyLearning estimates cure probabilities from restart outcomes
 	// and converges toward the minimal policy (paper §7 future work).
 	PolicyLearning
+	// PolicyCostAware is oracle v2: it chooses restart depth, microreboot
+	// or checkpoint-restore by minimizing expected user-facing harm under
+	// live MTTF/MTTR estimates (DESIGN.md §12).
+	PolicyCostAware
+	// PolicyFixedMicro always microreboots first, then escalates restarts
+	// — the policy-campaign baseline for "cheapest rung first, always".
+	PolicyFixedMicro
+	// PolicyFixedProcess always starts at the hosting process's cell,
+	// skipping the sub-level rungs entirely.
+	PolicyFixedProcess
+	// PolicyFixedCkpt always starts with checkpoint-restore when a
+	// checkpoint exists.
+	PolicyFixedCkpt
 )
 
 // String names the policy.
@@ -69,6 +83,14 @@ func (p Policy) String() string {
 		return "faulty"
 	case PolicyLearning:
 		return "learning"
+	case PolicyCostAware:
+		return "costaware"
+	case PolicyFixedMicro:
+		return "fixed-micro"
+	case PolicyFixedProcess:
+		return "fixed-process"
+	case PolicyFixedCkpt:
+		return "fixed-ckpt"
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
@@ -111,6 +133,23 @@ type Config struct {
 	// DisableRecovery builds the station without FD/REC (for baselines
 	// that model the pre-RR, operator-driven Mercury).
 	DisableRecovery bool
+	// CustomTree, when non-nil, overrides TreeName with an arbitrary
+	// restart tree over the split component layout (the treeopt
+	// validation campaigns boot thousands of these). Micro mode still
+	// follows TreeName/Micro.
+	CustomTree *core.Tree
+	// CkptInterval sets the checkpoint period; 0 means the 10s default.
+	// The checkpoint manager only exists in micro mode and only when a
+	// checkpoint-aware policy or a positive interval asks for it.
+	CkptInterval time.Duration
+	// EstimatorWindow is oracle v2's EWMA window N (alpha = 2/(N+1));
+	// 0 means 8.
+	EstimatorWindow int
+	// HarmRates maps a component (or dotted sub, falling back to its
+	// hosting process) to the user-harm rate an outage of it causes —
+	// typically the offered request rate against it. Oracle v2 reports
+	// predicted harm in these units; nil means rate 1 everywhere.
+	HarmRates map[string]float64
 }
 
 // Fault describes a failure to inject.
@@ -125,6 +164,11 @@ type Fault struct {
 	// Hang delivers the failure as a hang (spin/livelock) instead of a
 	// crash; both look identical to the failure detector.
 	Hang bool
+	// StateKey marks a state-corruption fault on this store key: restarting
+	// the manifest alone reattaches to the poison; the cure is either the
+	// full Cure-set restart or a pre-injection checkpoint restore plus a
+	// manifest reboot.
+	StateKey string
 }
 
 // System is a fully wired, simulated Mercury ground station.
@@ -144,6 +188,9 @@ type System struct {
 	Params    station.Params
 	// Store is the crash-only state store; nil unless micro mode is on.
 	Store *store.Store
+	// Ckpt is the checkpoint manager; nil unless a checkpoint-aware
+	// policy or Config.CkptInterval asked for one (micro mode only).
+	Ckpt *ckpt.Manager
 
 	components []string
 	booted     bool
@@ -222,12 +269,31 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 	}
 
-	tree, ok := trees[cfg.TreeName]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownTree, cfg.TreeName)
+	// Checkpoint plane: only built when something will use it, so classic
+	// configurations schedule no extra ticker events and goldens hold.
+	var ckptMgr *ckpt.Manager
+	needCkpt := cfg.Policy == PolicyCostAware || cfg.Policy == PolicyFixedCkpt || cfg.CkptInterval > 0
+	if micro && st != nil && needCkpt {
+		ckptMgr = ckpt.New(clk, st, ckpt.Options{
+			Interval: cfg.CkptInterval,
+			Keys:     station.MicroCheckpointKeys(),
+		})
+		ckptMgr.OnRestore(board.NoteRestore)
+	}
+
+	var tree *core.Tree
+	if cfg.CustomTree != nil {
+		tree = cfg.CustomTree
+		trees[tree.Name] = tree
+	} else {
+		var ok bool
+		tree, ok = trees[cfg.TreeName]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownTree, cfg.TreeName)
+		}
 	}
 	layout := station.Split
-	if cfg.TreeName == "I" || cfg.TreeName == "II" {
+	if cfg.CustomTree == nil && (cfg.TreeName == "I" || cfg.TreeName == "II") {
 		layout = station.Monolithic
 	}
 
@@ -253,6 +319,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Collector:  coll,
 		Params:     params,
 		Store:      st,
+		Ckpt:       ckptMgr,
 		components: comps,
 	}
 
@@ -270,6 +337,22 @@ func NewSystem(cfg Config) (*System, error) {
 		recParams := core.DefaultRECParams()
 		if cfg.RECParams != nil {
 			recParams = *cfg.RECParams
+		}
+		if ckptMgr != nil && recParams.CkptRestore == nil {
+			recParams.CkptRestore = func(set []string) (time.Duration, error) {
+				var total time.Duration
+				restored := false
+				for _, c := range set {
+					if lat, err := ckptMgr.Restore(c); err == nil {
+						total += lat
+						restored = true
+					}
+				}
+				if !restored {
+					return 0, fmt.Errorf("mercury: no checkpoint covering %v", set)
+				}
+				return total, nil
+			}
 		}
 		restartFD := func() {
 			if st, _ := mgr.State(FDName); st != proc.Starting {
@@ -319,8 +402,48 @@ func (s *System) buildOracle(cfg Config) (core.Oracle, error) {
 		return &core.FaultyOracle{P: cfg.FaultyP, Advisor: s.Board, Rng: s.Kernel.Rand()}, nil
 	case PolicyLearning:
 		return core.NewLearningOracle(s.Kernel.Rand()), nil
+	case PolicyCostAware:
+		return core.NewCostAwareOracle(core.CostAwareConfig{
+			Ckpt:     s.ckptModel(),
+			HarmRate: harmRateFn(cfg.HarmRates),
+			Window:   cfg.EstimatorWindow,
+		}), nil
+	case PolicyFixedMicro:
+		return &core.FixedActionOracle{Mode: core.FixedMicro}, nil
+	case PolicyFixedProcess:
+		return &core.FixedActionOracle{Mode: core.FixedProcess}, nil
+	case PolicyFixedCkpt:
+		return &core.FixedActionOracle{Mode: core.FixedCkpt, Ckpt: s.ckptModel()}, nil
 	default:
 		return nil, fmt.Errorf("mercury: unknown policy %v", cfg.Policy)
+	}
+}
+
+// ckptModel adapts the optional checkpoint manager to the oracle's
+// interface without the typed-nil trap.
+func (s *System) ckptModel() core.CheckpointModel {
+	if s.Ckpt == nil {
+		return nil
+	}
+	return s.Ckpt
+}
+
+// harmRateFn builds the oracle's harm-rate lookup: exact component first,
+// then a dotted sub's hosting process, then 1.
+func harmRateFn(rates map[string]float64) func(string) float64 {
+	if rates == nil {
+		return nil
+	}
+	return func(c string) float64 {
+		if v, ok := rates[c]; ok {
+			return v
+		}
+		if i := strings.IndexByte(c, '.'); i >= 0 {
+			if v, ok := rates[c[:i]]; ok {
+				return v
+			}
+		}
+		return 1
 	}
 }
 
@@ -425,7 +548,7 @@ func (s *System) Inject(f Fault) error {
 	if !s.booted {
 		return ErrNotBooted
 	}
-	return s.Board.Inject(fault.Fault{Manifest: f.Component, Cure: f.Cure, Hard: f.Hard, Hang: f.Hang})
+	return s.Board.Inject(fault.Fault{Manifest: f.Component, Cure: f.Cure, Hard: f.Hard, Hang: f.Hang, StateKey: f.StateKey})
 }
 
 // MeasureRecovery injects a fault and runs the simulation until the system
